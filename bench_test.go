@@ -1,0 +1,171 @@
+// Package atomemu's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper's evaluation. Wall time measures the harness
+// itself; the paper's quantity — virtual time — is attached to every
+// sub-benchmark as the "vcycles" metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a compact version of the whole evaluation. cmd/atomemu-bench
+// produces the full-size renders and CSVs.
+package atomemu
+
+import (
+	"fmt"
+	"testing"
+
+	"atomemu/internal/core"
+	"atomemu/internal/harness"
+	"atomemu/internal/litmus"
+	"atomemu/internal/stats"
+	"atomemu/internal/workload"
+)
+
+// benchScale keeps -bench=. affordable; cmd/atomemu-bench defaults to 0.25.
+const benchScale = 0.05
+
+func runOnce(b *testing.B, prog, scheme string, threads int) *harness.RunResult {
+	b.Helper()
+	res, err := harness.RunWorkload(harness.RunConfig{
+		Program: prog, Scheme: scheme, Threads: threads, Scale: benchScale,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig10Scalability covers the software schemes of Figure 10 on a
+// threads sweep; the vcycles metric is the plotted quantity.
+func BenchmarkFig10Scalability(b *testing.B) {
+	for _, spec := range workload.ScalabilitySpecs() {
+		for _, scheme := range harness.Fig10Schemes() {
+			for _, threads := range []int{1, 4, 16} {
+				name := fmt.Sprintf("%s/%s/t%d", spec.Name, scheme, threads)
+				b.Run(name, func(b *testing.B) {
+					var vt uint64
+					for i := 0; i < b.N; i++ {
+						res := runOnce(b, spec.Name, scheme, threads)
+						vt = res.VirtualTime
+					}
+					b.ReportMetric(float64(vt), "vcycles")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig11HTM covers the HTM schemes; crashed runs (PICO-HTM
+// livelock beyond 8 threads) report vcycles = 0.
+func BenchmarkFig11HTM(b *testing.B) {
+	for _, prog := range []string{"fluidanimate", "blackscholes"} {
+		for _, scheme := range harness.Fig11Schemes() {
+			for _, threads := range []int{1, 8, 16} {
+				name := fmt.Sprintf("%s/%s/t%d", prog, scheme, threads)
+				b.Run(name, func(b *testing.B) {
+					var vt uint64
+					crashed := false
+					for i := 0; i < b.N; i++ {
+						res := runOnce(b, prog, scheme, threads)
+						vt = res.VirtualTime
+						crashed = res.Crashed
+					}
+					if crashed {
+						vt = 0
+					}
+					b.ReportMetric(float64(vt), "vcycles")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12Breakdown reports the per-component cycle fractions of the
+// overhead-breakdown figure as metrics.
+func BenchmarkFig12Breakdown(b *testing.B) {
+	remapOK := harness.PSTRemapPrograms()
+	for _, prog := range []string{"fluidanimate", "bodytrack", "blackscholes"} {
+		for _, scheme := range harness.Fig12Schemes() {
+			if scheme == "pst-remap" && !remapOK[prog] {
+				continue
+			}
+			b.Run(prog+"/"+scheme, func(b *testing.B) {
+				var frac [stats.NumComponents]float64
+				for i := 0; i < b.N; i++ {
+					res := runOnce(b, prog, scheme, 8)
+					frac = res.Stats.Breakdown()
+				}
+				b.ReportMetric(frac[stats.CompNative], "native")
+				b.ReportMetric(frac[stats.CompExclusive], "excl")
+				b.ReportMetric(frac[stats.CompInstrument], "instr")
+				b.ReportMetric(frac[stats.CompMProtect], "mprot")
+			})
+		}
+	}
+}
+
+// BenchmarkTableICensus reports the store:LL/SC ratio per program.
+func BenchmarkTableICensus(b *testing.B) {
+	for _, spec := range workload.Specs() {
+		b.Run(spec.Name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, spec.Name, "hst", 2)
+				ratio = res.Stats.StoreToLLSCRatio()
+			}
+			b.ReportMetric(ratio, "stores/llsc")
+		})
+	}
+}
+
+// BenchmarkTableIIRelative reports each scheme's virtual time relative to
+// PICO-CAS on one representative program at 8 threads.
+func BenchmarkTableIIRelative(b *testing.B) {
+	base := runOnce(b, "freqmine", "pico-cas", 8).VirtualTime
+	for _, scheme := range core.SchemeNames() {
+		b.Run(scheme, func(b *testing.B) {
+			var vt uint64
+			crashed := false
+			for i := 0; i < b.N; i++ {
+				res := runOnce(b, "freqmine", scheme, 8)
+				vt = res.VirtualTime
+				crashed = res.Crashed
+			}
+			if crashed || vt == 0 {
+				b.ReportMetric(0, "rel")
+				return
+			}
+			b.ReportMetric(float64(vt)/float64(base), "rel")
+		})
+	}
+}
+
+// BenchmarkCorrectnessABA runs the §IV-A lock-free-stack audit per scheme
+// and reports the corruption percentage (nonzero only for pico-cas).
+func BenchmarkCorrectnessABA(b *testing.B) {
+	for _, scheme := range core.SchemeNames() {
+		b.Run(scheme, func(b *testing.B) {
+			var pct float64
+			for i := 0; i < b.N; i++ {
+				run, err := harness.RunStack(scheme, 8, 40_000, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pct = run.CorruptPct
+			}
+			b.ReportMetric(pct, "corrupt%")
+		})
+	}
+}
+
+// BenchmarkLitmusMatrix measures the deterministic §IV-A sequence replay.
+func BenchmarkLitmusMatrix(b *testing.B) {
+	for _, scheme := range core.SchemeNames() {
+		b.Run(scheme, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := litmus.RunAll(scheme); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

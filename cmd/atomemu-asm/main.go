@@ -1,0 +1,88 @@
+// Command atomemu-asm assembles GA32 text assembly — or compiles GAC, the
+// C-like guest language — into the flat binary image format cmd/atomemu
+// runs:
+//
+//	atomemu-asm prog.s -o prog.ga32
+//	atomemu-asm -gac prog.gac -o prog.ga32
+//	atomemu-asm -d prog.ga32          (disassemble an image)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atomemu/internal/asm"
+	"atomemu/internal/gac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atomemu-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output image path (default: stdout refuses binaries; use -o)")
+	disas := flag.Bool("d", false, "disassemble an image instead of assembling")
+	gacMode := flag.Bool("gac", false, "treat the input as GAC source (auto-detected for .gac files)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return fmt.Errorf("an input file is expected")
+	}
+	path := flag.Arg(0)
+	// Accept flags after the input file too ("asm prog.s -o prog.ga32").
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		if flag.NArg() != 0 {
+			return fmt.Errorf("unexpected arguments %v", flag.Args())
+		}
+	}
+
+	if *disas {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		im, err := asm.ReadImage(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("org %#08x  entry %#08x  %d words\n", im.Org, im.Entry, len(im.Words))
+		return im.Disassemble(os.Stdout)
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var im *asm.Image
+	if *gacMode || strings.HasSuffix(path, ".gac") {
+		im, err = gac.Compile(string(src))
+	} else {
+		im, err = asm.Assemble(string(src))
+	}
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("use -o to name the output image")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := im.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: org=%#x entry=%#x words=%d symbols=%d\n",
+		*out, im.Org, im.Entry, len(im.Words), len(im.Symbols))
+	return nil
+}

@@ -1,0 +1,178 @@
+// Command atomemu-bench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	atomemu-bench fig10        scalability of the software schemes
+//	atomemu-bench fig11        scalability of the HTM schemes
+//	atomemu-bench fig12        execution-time breakdowns
+//	atomemu-bench table1       per-program instruction census
+//	atomemu-bench table2       scheme summary matrix (measured)
+//	atomemu-bench correctness  lock-free stack ABA audit (§IV-A)
+//	atomemu-bench litmus       Seq1–Seq4 atomicity matrix (§IV-A)
+//	atomemu-bench all          everything above
+//
+// Text renders to stdout; with -out DIR each experiment also writes a CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"atomemu/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "atomemu-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("atomemu-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.25, "work scale factor (1.0 = full-size runs)")
+	threadsFlag := fs.String("threads", "", "comma-separated thread counts (default: per-figure sweep)")
+	outDir := fs.String("out", "", "directory for CSV output (omit to skip CSVs)")
+	quiet := fs.Bool("q", false, "suppress per-run progress lines")
+	stackOps := fs.Uint64("stack-ops", 1048575, "total stack operations for the correctness run")
+	stackThreads := fs.Int("stack-threads", 16, "threads for the correctness run")
+	stackNodes := fs.Uint("stack-nodes", 64, "stack nodes for the correctness run")
+	attempts := fs.Int("attempts", 6, "PICO-CAS retry attempts for the correctness run")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|all}")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("an experiment name is expected")
+	}
+	cmd := fs.Arg(0)
+	// Accept flags after the experiment name too ("bench correctness -out d").
+	if fs.NArg() > 1 {
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return fmt.Errorf("unexpected arguments %v", fs.Args())
+		}
+	}
+
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	progress := harness.Progress(nil)
+	if !*quiet {
+		progress = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	saveCSV := func(name string, render func(io.Writer)) error {
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		render(f)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+
+	experiments := map[string]func() error{
+		"fig10": func() error {
+			fig, err := harness.RunFig10(*scale, threads, progress)
+			if err != nil {
+				return err
+			}
+			fig.Render(os.Stdout)
+			return saveCSV("fig10.csv", fig.CSV)
+		},
+		"fig11": func() error {
+			fig, err := harness.RunFig11(*scale, threads, progress)
+			if err != nil {
+				return err
+			}
+			fig.Render(os.Stdout)
+			return saveCSV("fig11.csv", fig.CSV)
+		},
+		"fig12": func() error {
+			fig, err := harness.RunFig12(*scale, threads, progress)
+			if err != nil {
+				return err
+			}
+			fig.Render(os.Stdout)
+			return saveCSV("fig12.csv", fig.CSV)
+		},
+		"table1": func() error {
+			tab, err := harness.RunTableI(*scale, 16, progress)
+			if err != nil {
+				return err
+			}
+			tab.Render(os.Stdout)
+			return saveCSV("table1.csv", tab.CSV)
+		},
+		"table2": func() error {
+			tab, err := harness.RunTableII(*scale, 16, progress)
+			if err != nil {
+				return err
+			}
+			tab.Render(os.Stdout)
+			return saveCSV("table2.csv", tab.CSV)
+		},
+		"correctness": func() error {
+			c, err := harness.RunCorrectness(*stackThreads, *stackOps, uint32(*stackNodes), *attempts, progress)
+			if err != nil {
+				return err
+			}
+			c.Render(os.Stdout)
+			return saveCSV("correctness.csv", c.CSV)
+		},
+		"litmus": func() error {
+			return harness.LitmusMatrix(os.Stdout)
+		},
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2"} {
+			fmt.Printf("\n===== %s =====\n", name)
+			if err := experiments[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	exp, ok := experiments[cmd]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return exp()
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+// Command atomemu runs guest programs under a chosen atomic-instruction
+// emulation scheme:
+//
+//	atomemu -image prog.ga32 [-scheme hst] [-threads 1]
+//	    run an assembled image (one worker thread per -threads at entry)
+//	atomemu -gac prog.gac [-scheme hst] [-threads 1]
+//	    compile a GAC source file and run it
+//	atomemu -program fluidanimate [-scheme hst] [-threads 8] [-scale 0.25]
+//	    run a miniparsec workload
+//	atomemu -stack [-scheme pico-cas] [-threads 16] [-ops 1048575]
+//	    run the §IV-A lock-free-stack ABA experiment
+//
+// On exit it prints guest output, the instruction census and the
+// virtual-time total.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atomemu/internal/asm"
+	"atomemu/internal/engine"
+	"atomemu/internal/gac"
+	"atomemu/internal/harness"
+	"atomemu/internal/stats"
+	"atomemu/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atomemu:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scheme := flag.String("scheme", "hst", "emulation scheme (pico-cas pico-st pico-htm hst hst-weak hst-htm pst pst-remap pst-mpk)")
+	image := flag.String("image", "", "assembled GA32 image to run")
+	gacFile := flag.String("gac", "", "GAC source file to compile and run")
+	program := flag.String("program", "", "miniparsec workload name")
+	stack := flag.Bool("stack", false, "run the lock-free-stack ABA experiment")
+	threads := flag.Int("threads", 1, "worker threads")
+	scale := flag.Float64("scale", 0.25, "workload scale factor")
+	ops := flag.Uint64("ops", 1048575, "stack operations (with -stack)")
+	nodes := flag.Uint("nodes", 64, "stack nodes (with -stack)")
+	arg := flag.Uint("arg", 0, "r0 argument for -image workers")
+	fuse := flag.Bool("fuse", false, "enable rule-based translation (fuse LL/SC retry loops into host atomics)")
+	trace := flag.Bool("trace", false, "log every executed guest instruction to stderr (-image only)")
+	flag.Parse()
+
+	switch {
+	case *stack:
+		res, err := harness.RunStack(*scheme, *threads, *ops, uint32(*nodes))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheme=%s ops=%d corrupt=%.2f%% crashed=%v\naudit: %s\n",
+			res.Scheme, res.Ops, res.CorruptPct, res.Crashed, res.Report)
+		if res.Crashed {
+			fmt.Println("reason:", res.Reason)
+		}
+		return nil
+
+	case *program != "":
+		res, err := harness.RunWorkload(harness.RunConfig{
+			Program: *program, Scheme: *scheme, Threads: *threads, Scale: *scale,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Crashed {
+			fmt.Printf("CRASHED: %s\n", res.CrashReason)
+			return nil
+		}
+		printStats(res.Stats, res.VirtualTime)
+		fmt.Printf("wall time: %s\n", res.WallTime)
+		return nil
+
+	case *image != "" || *gacFile != "":
+		var im *asm.Image
+		if *gacFile != "" {
+			src, err := os.ReadFile(*gacFile)
+			if err != nil {
+				return err
+			}
+			im, err = gac.Compile(string(src))
+			if err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Open(*image)
+			if err != nil {
+				return err
+			}
+			var rerr error
+			im, rerr = asm.ReadImage(f)
+			f.Close()
+			if rerr != nil {
+				return rerr
+			}
+		}
+		cfg := engine.DefaultConfig(*scheme)
+		cfg.FuseAtomics = *fuse
+		if *trace {
+			cfg.TraceWriter = os.Stderr
+		}
+		m, err := engine.NewMachine(cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.LoadImage(im); err != nil {
+			return err
+		}
+		for i := 0; i < *threads; i++ {
+			if _, err := m.SpawnThread(im.Entry, uint32(*arg)); err != nil {
+				return err
+			}
+		}
+		if err := m.Run(); err != nil {
+			return err
+		}
+		for _, v := range m.Output() {
+			fmt.Println(v)
+		}
+		printStats(m.AggregateStats(), m.VirtualTime())
+		return nil
+	}
+	flag.Usage()
+	return fmt.Errorf("one of -image, -gac, -program or -stack is required (programs: %v)", names())
+}
+
+func names() []string {
+	var out []string
+	for _, s := range workload.Specs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func printStats(st stats.CPU, vt uint64) {
+	fmt.Printf("guest instrs: %d  loads: %d  stores: %d  LL/SC: %d/%d (fails %d)\n",
+		st.GuestInstrs, st.Loads, st.Stores, st.LLs, st.SCs, st.SCFails)
+	fmt.Printf("virtual time: %d cycles  (native %d, exclusive %d, instrument %d, mprotect %d, htm %d)\n",
+		vt, st.Cycles[stats.CompNative], st.Cycles[stats.CompExclusive],
+		st.Cycles[stats.CompInstrument], st.Cycles[stats.CompMProtect], st.Cycles[stats.CompHTM])
+	if st.PageFaults > 0 {
+		fmt.Printf("page faults: %d (false sharing %d)\n", st.PageFaults, st.FalseSharing)
+	}
+	if st.HTMCommits+st.HTMAborts > 0 {
+		fmt.Printf("htm: %d commits, %d aborts\n", st.HTMCommits, st.HTMAborts)
+	}
+}

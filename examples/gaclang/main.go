@@ -1,0 +1,134 @@
+// The paper's lock-free-stack experiment written in GAC, atomemu's C-like
+// guest language, compiled to GA32 on the fly and run under two schemes:
+// QEMU-4.1's pico-cas (which the ABA problem eventually corrupts) and HST.
+//
+//	go run ./examples/gaclang
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atomemu/internal/engine"
+	"atomemu/internal/gac"
+)
+
+const src = `
+// Treiber stack over 16 reusable nodes (paper Fig. 3, in GAC).
+var top;
+var nodes[32];
+
+func push(node) {
+    var old = ll(&top);
+    *node = old;
+    while (sc(&top, node)) {
+        old = ll(&top);
+        *node = old;
+    }
+}
+
+func pop() {
+    while (1) {
+        var old = ll(&top);
+        if (old == 0) { clrex(); return 0; }
+        var next = *old;
+        if (sc(&top, next) == 0) { return old; }
+    }
+}
+
+func worker(n) {
+    var i = 0;
+    while (i < n) {
+        var node = pop();
+        if (node == 0) { yield(); continue; }
+        *(node + 4) = *(node + 4) + 1;
+        push(node);
+        i = i + 1;
+    }
+}
+
+func main(n) {
+    var i = 0;
+    top = 0;
+    while (i < 16) { push(&nodes[i * 2]); i = i + 1; }
+    var t1 = spawn(worker, n);
+    var t2 = spawn(worker, n);
+    var t3 = spawn(worker, n);
+    worker(n);
+    join(t1); join(t2); join(t3);
+    // Audit the stack: count reachable nodes, flag ABA self-loops.
+    var count = 0;
+    var cur = top;
+    while (cur != 0) {
+        if (*cur == cur) { print(777777); exit(2); }
+        count = count + 1;
+        if (count > 16) { print(888888); exit(3); }
+        cur = *cur;
+    }
+    print(count);
+    exit(0);
+}`
+
+func runOnce(scheme string, ops uint32) (out []uint32, err error) {
+	im, err := gac.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.DefaultConfig(scheme)
+	cfg.MaxGuestInstrs = 2_000_000_000
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadImage(im); err != nil {
+		return nil, err
+	}
+	if _, err := m.Start(im.Entry, ops); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return m.Output(), nil
+}
+
+func main() {
+	const ops = 20000
+	fmt.Println("Treiber stack in GAC, 4 guest threads x", ops, "pop/push pairs")
+
+	fmt.Println("\n--- pico-cas (QEMU-4.1) ---")
+	corrupted := false
+	for attempt := 1; attempt <= 10 && !corrupted; attempt++ {
+		out, err := runOnce("pico-cas", ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case len(out) == 1 && out[0] == 777777:
+			fmt.Printf("attempt %d: ABA! a node's next points to itself\n", attempt)
+			corrupted = true
+		case len(out) == 1 && out[0] == 888888:
+			fmt.Printf("attempt %d: ABA! the stack contains a cycle\n", attempt)
+			corrupted = true
+		case len(out) == 1 && out[0] < 16:
+			fmt.Printf("attempt %d: ABA! only %d of 16 nodes still reachable\n", attempt, out[0])
+			corrupted = true
+		default:
+			fmt.Printf("attempt %d: survived (16 nodes)\n", attempt)
+		}
+	}
+	if !corrupted {
+		fmt.Println("(no corruption this time — the race needs scheduler luck; rerun)")
+	}
+
+	fmt.Println("\n--- hst ---")
+	out, err := runOnce("hst", ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(out) == 1 && out[0] == 16 {
+		fmt.Println("stack intact: all 16 nodes reachable, no self-loops")
+	} else {
+		fmt.Println("UNEXPECTED:", out)
+	}
+}

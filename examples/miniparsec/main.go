@@ -1,0 +1,66 @@
+// Run one miniparsec workload (the synthetic PARSEC stand-ins of the
+// paper's evaluation) under any scheme and print the Fig. 12-style
+// execution-time breakdown.
+//
+//	go run ./examples/miniparsec [-program fluidanimate] [-scheme hst] [-threads 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"atomemu/internal/harness"
+	"atomemu/internal/stats"
+	"atomemu/internal/workload"
+)
+
+func main() {
+	program := flag.String("program", "fluidanimate", "workload name")
+	scheme := flag.String("scheme", "hst", "emulation scheme")
+	threads := flag.Int("threads", 8, "worker threads")
+	scale := flag.Float64("scale", 0.25, "work scale")
+	flag.Parse()
+
+	spec, ok := workload.SpecByName(*program)
+	if !ok {
+		var names []string
+		for _, s := range workload.Specs() {
+			names = append(names, s.Name)
+		}
+		log.Fatalf("unknown program %q; have %v", *program, names)
+	}
+	fmt.Printf("%s: %s-kind atomics every %d items, %d locks, barriers every %d\n",
+		spec.Name, spec.Kind, spec.AtomicEvery, spec.LockCells, spec.BarrierEvery)
+
+	res, err := harness.RunWorkload(harness.RunConfig{
+		Program: *program, Scheme: *scheme, Threads: *threads, Scale: *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Crashed {
+		fmt.Printf("CRASHED: %s\n", res.CrashReason)
+		return
+	}
+	st := res.Stats
+	fmt.Printf("\n%d guest instructions, %d stores, %d LL/SC (store:LLSC = %.0f)\n",
+		st.GuestInstrs, st.Stores, st.LLs, st.StoreToLLSCRatio())
+	fmt.Printf("virtual time %d cycles, wall %s\n\n", res.VirtualTime, res.WallTime)
+
+	fmt.Println("cycle breakdown (the paper's Fig. 12 bar):")
+	frac := st.Breakdown()
+	for comp := stats.Component(0); comp < stats.NumComponents; comp++ {
+		bar := ""
+		for i := 0; i < int(frac[comp]*50); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-11s %6.1f%% %s\n", comp, 100*frac[comp], bar)
+	}
+	if st.PageFaults > 0 {
+		fmt.Printf("\npage faults: %d (%d false sharing)\n", st.PageFaults, st.FalseSharing)
+	}
+	if st.HTMCommits+st.HTMAborts > 0 {
+		fmt.Printf("htm: %d commits / %d aborts\n", st.HTMCommits, st.HTMAborts)
+	}
+}

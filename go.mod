@@ -1,0 +1,3 @@
+module atomemu
+
+go 1.22

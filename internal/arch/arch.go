@@ -1,0 +1,170 @@
+// Package arch defines GA32, the guest instruction-set architecture emulated
+// by atomemu.
+//
+// GA32 is a 32-bit ARM-like RISC: sixteen general-purpose registers, NZCV
+// condition flags, fixed 32-bit instruction encodings, and — central to this
+// project — a Load-Linked/Store-Conditional pair (LDREX/STREX) with the same
+// programmer-visible semantics as ARMv7's exclusive accesses. It stands in
+// for ARMv7 in the reproduction of "Enhancing Atomic Instruction Emulation
+// for Cross-ISA Dynamic Binary Translation" (CGO 2021): the paper's emulation
+// schemes depend only on LL/SC semantics and store visibility, not on ARM's
+// encoding quirks, so GA32 keeps the decoder honest (real bit-level
+// encode/decode) while staying regular.
+package arch
+
+import "fmt"
+
+// Reg names one of the sixteen GA32 general-purpose registers.
+type Reg uint8
+
+// Register aliases. SP, LR and PC follow the ARM convention.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13: stack pointer
+	LR // R14: link register
+	PC // R15: program counter
+)
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 16
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	}
+	if r < NumRegs {
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Cond is a branch condition, tested against the NZCV flags.
+type Cond uint8
+
+// Branch conditions, ARM-style.
+const (
+	EQ Cond = iota // Z
+	NE             // !Z
+	CS             // C
+	CC             // !C
+	MI             // N
+	PL             // !N
+	VS             // V
+	VC             // !V
+	HI             // C && !Z
+	LS             // !C || Z
+	GE             // N == V
+	LT             // N != V
+	GT             // !Z && N == V
+	LE             // Z || N != V
+	AL             // always
+	NumConds
+)
+
+var condNames = [NumConds]string{
+	EQ: "eq", NE: "ne", CS: "cs", CC: "cc", MI: "mi", PL: "pl",
+	VS: "vs", VC: "vc", HI: "hi", LS: "ls", GE: "ge", LT: "lt",
+	GT: "gt", LE: "le", AL: "al",
+}
+
+func (c Cond) String() string {
+	if c < NumConds {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond?%d", uint8(c))
+}
+
+// Valid reports whether c names a condition.
+func (c Cond) Valid() bool { return c < NumConds }
+
+// Flags holds the guest NZCV condition flags.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Test evaluates a condition against the flags.
+func (f Flags) Test(c Cond) bool {
+	switch c {
+	case EQ:
+		return f.Z
+	case NE:
+		return !f.Z
+	case CS:
+		return f.C
+	case CC:
+		return !f.C
+	case MI:
+		return f.N
+	case PL:
+		return !f.N
+	case VS:
+		return f.V
+	case VC:
+		return !f.V
+	case HI:
+		return f.C && !f.Z
+	case LS:
+		return !f.C || f.Z
+	case GE:
+		return f.N == f.V
+	case LT:
+		return f.N != f.V
+	case GT:
+		return !f.Z && f.N == f.V
+	case LE:
+		return f.Z || f.N != f.V
+	case AL:
+		return true
+	}
+	return false
+}
+
+// Pack encodes the flags into the low four bits (N=8, Z=4, C=2, V=1),
+// matching the layout used by the engine's CPU state.
+func (f Flags) Pack() uint32 {
+	var w uint32
+	if f.N {
+		w |= 8
+	}
+	if f.Z {
+		w |= 4
+	}
+	if f.C {
+		w |= 2
+	}
+	if f.V {
+		w |= 1
+	}
+	return w
+}
+
+// UnpackFlags is the inverse of Flags.Pack.
+func UnpackFlags(w uint32) Flags {
+	return Flags{N: w&8 != 0, Z: w&4 != 0, C: w&2 != 0, V: w&1 != 0}
+}
+
+// InstrBytes is the size in bytes of every GA32 instruction.
+const InstrBytes = 4
+
+// WordBytes is the guest word size in bytes.
+const WordBytes = 4

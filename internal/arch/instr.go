@@ -1,0 +1,280 @@
+package arch
+
+import "fmt"
+
+// Instruction is a decoded GA32 instruction. Which fields are meaningful
+// depends on Op.Format(); Validate checks the combination.
+type Instruction struct {
+	Op   Opcode
+	Rd   Reg   // destination (or status register for STREX)
+	Rn   Reg   // first source / base address
+	Rm   Reg   // second source / store value
+	Imm  int32 // immediate: imm12 (0..4095) or imm16 (0..65535)
+	Cond Cond  // condition for B
+	Off  int32 // signed word offset for B (±2^19) and BL (±2^23)
+}
+
+// Field layout constants.
+const (
+	immMask12 = 0xfff
+	immMask16 = 0xffff
+	off20Bits = 20
+	off24Bits = 24
+)
+
+// MaxOff20 and friends bound the branch offsets (in words).
+const (
+	MaxOff20 = 1<<(off20Bits-1) - 1
+	MinOff20 = -(1 << (off20Bits - 1))
+	MaxOff24 = 1<<(off24Bits-1) - 1
+	MinOff24 = -(1 << (off24Bits - 1))
+)
+
+// Validate reports whether the instruction's operands fit its format.
+func (i Instruction) Validate() error {
+	if !i.Op.Valid() {
+		return fmt.Errorf("arch: invalid opcode %d", uint8(i.Op))
+	}
+	checkReg := func(r Reg, what string) error {
+		if !r.Valid() {
+			return fmt.Errorf("arch: %s: invalid %s register %d", i.Op, what, uint8(r))
+		}
+		return nil
+	}
+	switch i.Op.Format() {
+	case Fmt3R, FmtMemR:
+		for _, p := range []struct {
+			r    Reg
+			what string
+		}{{i.Rd, "rd"}, {i.Rn, "rn"}, {i.Rm, "rm"}} {
+			if err := checkReg(p.r, p.what); err != nil {
+				return err
+			}
+		}
+	case Fmt2RI, FmtMem:
+		if err := checkReg(i.Rd, "rd"); err != nil {
+			return err
+		}
+		if err := checkReg(i.Rn, "rn"); err != nil {
+			return err
+		}
+		if i.Imm < 0 || i.Imm > immMask12 {
+			return fmt.Errorf("arch: %s: imm12 out of range: %d", i.Op, i.Imm)
+		}
+	case Fmt2R:
+		if err := checkReg(i.Rd, "rd"); err != nil {
+			return err
+		}
+		if err := checkReg(i.Rm, "rm"); err != nil {
+			return err
+		}
+	case FmtRI16:
+		if err := checkReg(i.Rd, "rd"); err != nil {
+			return err
+		}
+		if i.Imm < 0 || i.Imm > immMask16 {
+			return fmt.Errorf("arch: %s: imm16 out of range: %d", i.Op, i.Imm)
+		}
+	case FmtRI12:
+		if err := checkReg(i.Rd, "rd"); err != nil {
+			return err
+		}
+		if i.Imm < 0 || i.Imm > immMask12 {
+			return fmt.Errorf("arch: %s: imm12 out of range: %d", i.Op, i.Imm)
+		}
+	case FmtCmpR:
+		if err := checkReg(i.Rn, "rn"); err != nil {
+			return err
+		}
+		if err := checkReg(i.Rm, "rm"); err != nil {
+			return err
+		}
+	case FmtCmpI:
+		if err := checkReg(i.Rn, "rn"); err != nil {
+			return err
+		}
+		if i.Imm < 0 || i.Imm > immMask12 {
+			return fmt.Errorf("arch: %s: imm12 out of range: %d", i.Op, i.Imm)
+		}
+	case FmtEx:
+		if err := checkReg(i.Rd, "rd"); err != nil {
+			return err
+		}
+		if err := checkReg(i.Rn, "rn"); err != nil {
+			return err
+		}
+		if i.Op == STREX {
+			if err := checkReg(i.Rm, "rm"); err != nil {
+				return err
+			}
+		}
+	case FmtB:
+		if !i.Cond.Valid() {
+			return fmt.Errorf("arch: b: invalid condition %d", uint8(i.Cond))
+		}
+		if i.Off < MinOff20 || i.Off > MaxOff20 {
+			return fmt.Errorf("arch: b: offset out of range: %d", i.Off)
+		}
+	case FmtBL:
+		if i.Off < MinOff24 || i.Off > MaxOff24 {
+			return fmt.Errorf("arch: bl: offset out of range: %d", i.Off)
+		}
+	case FmtBX:
+		if err := checkReg(i.Rm, "rm"); err != nil {
+			return err
+		}
+	case FmtSVC:
+		if i.Imm < 0 || i.Imm > immMask12 {
+			return fmt.Errorf("arch: svc: number out of range: %d", i.Imm)
+		}
+	case FmtNone:
+		// no operands
+	}
+	return nil
+}
+
+// Encode packs the instruction into its 32-bit GA32 encoding.
+// The instruction must be valid; Encode panics otherwise (callers that
+// handle untrusted input should Validate first).
+func (i Instruction) Encode() uint32 {
+	if err := i.Validate(); err != nil {
+		panic(err)
+	}
+	w := uint32(i.Op) << 24
+	switch i.Op.Format() {
+	case Fmt3R, FmtMemR:
+		w |= uint32(i.Rd)<<20 | uint32(i.Rn)<<16 | uint32(i.Rm)<<12
+	case Fmt2RI, FmtMem:
+		w |= uint32(i.Rd)<<20 | uint32(i.Rn)<<16 | uint32(i.Imm)&immMask12
+	case Fmt2R:
+		w |= uint32(i.Rd)<<20 | uint32(i.Rm)<<12
+	case FmtRI16:
+		w |= uint32(i.Rd)<<20 | uint32(i.Imm)&immMask16
+	case FmtRI12:
+		w |= uint32(i.Rd)<<20 | uint32(i.Imm)&immMask12
+	case FmtCmpR:
+		w |= uint32(i.Rn)<<16 | uint32(i.Rm)<<12
+	case FmtCmpI:
+		w |= uint32(i.Rn)<<16 | uint32(i.Imm)&immMask12
+	case FmtEx:
+		w |= uint32(i.Rd)<<20 | uint32(i.Rn)<<16 | uint32(i.Rm)<<12
+	case FmtB:
+		w |= uint32(i.Cond)<<20 | uint32(i.Off)&((1<<off20Bits)-1)
+	case FmtBL:
+		w |= uint32(i.Off) & ((1 << off24Bits) - 1)
+	case FmtBX:
+		w |= uint32(i.Rm) << 12
+	case FmtSVC:
+		w |= uint32(i.Imm) & immMask12
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit GA32 encoding.
+func Decode(w uint32) (Instruction, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("arch: undefined opcode byte %#02x in %#08x", uint8(op), w)
+	}
+	i := Instruction{Op: op}
+	switch op.Format() {
+	case Fmt3R, FmtMemR, FmtEx:
+		i.Rd = Reg(w >> 20 & 0xf)
+		i.Rn = Reg(w >> 16 & 0xf)
+		i.Rm = Reg(w >> 12 & 0xf)
+	case Fmt2RI, FmtMem:
+		i.Rd = Reg(w >> 20 & 0xf)
+		i.Rn = Reg(w >> 16 & 0xf)
+		i.Imm = int32(w & immMask12)
+	case Fmt2R:
+		i.Rd = Reg(w >> 20 & 0xf)
+		i.Rm = Reg(w >> 12 & 0xf)
+	case FmtRI16:
+		i.Rd = Reg(w >> 20 & 0xf)
+		i.Imm = int32(w & immMask16)
+	case FmtRI12:
+		i.Rd = Reg(w >> 20 & 0xf)
+		i.Imm = int32(w & immMask12)
+	case FmtCmpR:
+		i.Rn = Reg(w >> 16 & 0xf)
+		i.Rm = Reg(w >> 12 & 0xf)
+	case FmtCmpI:
+		i.Rn = Reg(w >> 16 & 0xf)
+		i.Imm = int32(w & immMask12)
+	case FmtB:
+		cond := Cond(w >> 20 & 0xf)
+		if !cond.Valid() {
+			return Instruction{}, fmt.Errorf("arch: invalid branch condition %d in %#08x", uint8(cond), w)
+		}
+		i.Cond = cond
+		i.Off = signExtend(w&((1<<off20Bits)-1), off20Bits)
+	case FmtBL:
+		i.Off = signExtend(w&((1<<off24Bits)-1), off24Bits)
+	case FmtBX:
+		i.Rm = Reg(w >> 12 & 0xf)
+	case FmtSVC:
+		i.Imm = int32(w & immMask12)
+	case FmtNone:
+		// nothing to decode
+	}
+	if err := i.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return i, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// BranchTarget computes the absolute target of a B/BL at address pc.
+// GA32 branch semantics: target = pc + 4 + off*4.
+func (i Instruction) BranchTarget(pc uint32) uint32 {
+	return pc + InstrBytes + uint32(i.Off)*WordBytes
+}
+
+// OffsetFor computes the Off field that makes a branch at pc reach target.
+func OffsetFor(pc, target uint32) int32 {
+	return int32(target-pc-InstrBytes) / WordBytes
+}
+
+// String renders the instruction in GA32 assembly syntax.
+func (i Instruction) String() string {
+	switch i.Op.Format() {
+	case Fmt3R:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rn, i.Rm)
+	case Fmt2RI:
+		return fmt.Sprintf("%s %s, %s, #%d", i.Op, i.Rd, i.Rn, i.Imm)
+	case Fmt2R:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rm)
+	case FmtRI16, FmtRI12:
+		return fmt.Sprintf("%s %s, #%d", i.Op, i.Rd, i.Imm)
+	case FmtCmpR:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rn, i.Rm)
+	case FmtCmpI:
+		return fmt.Sprintf("%s %s, #%d", i.Op, i.Rn, i.Imm)
+	case FmtMem:
+		return fmt.Sprintf("%s %s, [%s, #%d]", i.Op, i.Rd, i.Rn, i.Imm)
+	case FmtMemR:
+		return fmt.Sprintf("%s %s, [%s, %s]", i.Op, i.Rd, i.Rn, i.Rm)
+	case FmtEx:
+		if i.Op == STREX {
+			return fmt.Sprintf("strex %s, %s, [%s]", i.Rd, i.Rm, i.Rn)
+		}
+		return fmt.Sprintf("ldrex %s, [%s]", i.Rd, i.Rn)
+	case FmtB:
+		if i.Cond == AL {
+			return fmt.Sprintf("b %+d", i.Off)
+		}
+		return fmt.Sprintf("b%s %+d", i.Cond, i.Off)
+	case FmtBL:
+		return fmt.Sprintf("bl %+d", i.Off)
+	case FmtBX:
+		return fmt.Sprintf("bx %s", i.Rm)
+	case FmtSVC:
+		return fmt.Sprintf("svc #%d", i.Imm)
+	default:
+		return i.Op.String()
+	}
+}

@@ -1,0 +1,232 @@
+package arch
+
+import "fmt"
+
+// Opcode identifies a GA32 instruction. The opcode occupies bits [31:24] of
+// every encoding.
+type Opcode uint8
+
+// GA32 opcodes. The groups mirror the instruction formats in format.go.
+const (
+	// Three-register ALU: rd = rn OP rm.
+	ADD Opcode = iota
+	SUB
+	RSB
+	AND
+	ORR
+	EOR
+	MUL
+	UDIV
+	SDIV
+	LSL
+	LSR
+	ASR
+	ADDS // flag-setting add
+	SUBS // flag-setting subtract
+
+	// Register+immediate ALU: rd = rn OP imm12 (imm zero-extended).
+	ADDI
+	SUBI
+	RSBI
+	ANDI
+	ORRI
+	EORI
+	LSLI
+	LSRI
+	ASRI
+	ADDSI
+	SUBSI
+
+	// Moves and compares.
+	MOV  // rd = rm
+	MVN  // rd = ^rm
+	MOVI // rd = imm12
+	MOVW // rd = imm16 (low half, upper cleared)
+	MOVT // rd = (rd & 0xffff) | imm16<<16
+	CMP  // flags from rn - rm
+	CMPI // flags from rn - imm12
+	CMN  // flags from rn + rm
+	TST  // flags from rn & rm
+
+	// Memory. Offsets are byte offsets; word accesses must be 4-aligned.
+	LDR   // rd = mem32[rn + imm12]
+	STR   // mem32[rn + imm12] = rd
+	LDRB  // rd = mem8[rn + imm12]
+	STRB  // mem8[rn + imm12] = rd&0xff
+	LDRR  // rd = mem32[rn + rm]
+	STRR  // mem32[rn + rm] = rd
+	LDRBR // rd = mem8[rn + rm]
+	STRBR // mem8[rn + rm] = rd&0xff
+
+	// Exclusive (LL/SC) accesses.
+	LDREX // rd = mem32[rn], begin exclusive monitor on rn
+	STREX // rd = 0 and mem32[rn] = rm if monitor held, else rd = 1
+	CLREX // clear exclusive monitor
+	DMB   // full memory barrier
+
+	// Control flow.
+	B   // conditional branch: pc += 4 + off*4 if cond
+	BL  // branch and link: lr = pc+4; pc += 4 + off*4
+	BX  // branch to register: pc = rm
+	SVC // supervisor call, number in imm12
+	HLT // halt this vCPU
+	NOP
+	YIELD // hint: yield to other vCPUs
+
+	NumOpcodes
+)
+
+// Format describes which encoding fields an opcode uses.
+type Format uint8
+
+// Instruction formats.
+const (
+	Fmt3R   Format = iota // rd, rn, rm
+	Fmt2RI                // rd, rn, imm12
+	Fmt2R                 // rd, rm          (MOV, MVN)
+	FmtRI16               // rd, imm16       (MOVW, MOVT)
+	FmtRI12               // rd, imm12       (MOVI)
+	FmtCmpR               // rn, rm          (CMP, CMN, TST)
+	FmtCmpI               // rn, imm12       (CMPI)
+	FmtMem                // rd, rn, imm12   (LDR/STR/LDRB/STRB)
+	FmtMemR               // rd, rn, rm      (LDRR/STRR/...)
+	FmtEx                 // LDREX: rd, rn; STREX: rd, rn, rm
+	FmtB                  // cond, off20
+	FmtBL                 // off24
+	FmtBX                 // rm
+	FmtSVC                // imm12
+	FmtNone               // no operands
+)
+
+type opInfo struct {
+	name string
+	fmt  Format
+}
+
+var opTable = [NumOpcodes]opInfo{
+	ADD:   {"add", Fmt3R},
+	SUB:   {"sub", Fmt3R},
+	RSB:   {"rsb", Fmt3R},
+	AND:   {"and", Fmt3R},
+	ORR:   {"orr", Fmt3R},
+	EOR:   {"eor", Fmt3R},
+	MUL:   {"mul", Fmt3R},
+	UDIV:  {"udiv", Fmt3R},
+	SDIV:  {"sdiv", Fmt3R},
+	LSL:   {"lsl", Fmt3R},
+	LSR:   {"lsr", Fmt3R},
+	ASR:   {"asr", Fmt3R},
+	ADDS:  {"adds", Fmt3R},
+	SUBS:  {"subs", Fmt3R},
+	ADDI:  {"addi", Fmt2RI},
+	SUBI:  {"subi", Fmt2RI},
+	RSBI:  {"rsbi", Fmt2RI},
+	ANDI:  {"andi", Fmt2RI},
+	ORRI:  {"orri", Fmt2RI},
+	EORI:  {"eori", Fmt2RI},
+	LSLI:  {"lsli", Fmt2RI},
+	LSRI:  {"lsri", Fmt2RI},
+	ASRI:  {"asri", Fmt2RI},
+	ADDSI: {"addsi", Fmt2RI},
+	SUBSI: {"subsi", Fmt2RI},
+	MOV:   {"mov", Fmt2R},
+	MVN:   {"mvn", Fmt2R},
+	MOVI:  {"movi", FmtRI12},
+	MOVW:  {"movw", FmtRI16},
+	MOVT:  {"movt", FmtRI16},
+	CMP:   {"cmp", FmtCmpR},
+	CMPI:  {"cmpi", FmtCmpI},
+	CMN:   {"cmn", FmtCmpR},
+	TST:   {"tst", FmtCmpR},
+	LDR:   {"ldr", FmtMem},
+	STR:   {"str", FmtMem},
+	LDRB:  {"ldrb", FmtMem},
+	STRB:  {"strb", FmtMem},
+	LDRR:  {"ldrr", FmtMemR},
+	STRR:  {"strr", FmtMemR},
+	LDRBR: {"ldrbr", FmtMemR},
+	STRBR: {"strbr", FmtMemR},
+	LDREX: {"ldrex", FmtEx},
+	STREX: {"strex", FmtEx},
+	CLREX: {"clrex", FmtNone},
+	DMB:   {"dmb", FmtNone},
+	B:     {"b", FmtB},
+	BL:    {"bl", FmtBL},
+	BX:    {"bx", FmtBX},
+	SVC:   {"svc", FmtSVC},
+	HLT:   {"hlt", FmtNone},
+	NOP:   {"nop", FmtNone},
+	YIELD: {"yield", FmtNone},
+}
+
+func (o Opcode) String() string {
+	if o < NumOpcodes {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return o < NumOpcodes }
+
+// Format returns the encoding format of o.
+func (o Opcode) Format() Format {
+	if o < NumOpcodes {
+		return opTable[o].fmt
+	}
+	return FmtNone
+}
+
+// IsStore reports whether o writes guest memory through the regular
+// (non-exclusive) store path. These are the instructions the paper's
+// store-test schemes must instrument.
+func (o Opcode) IsStore() bool {
+	switch o {
+	case STR, STRB, STRR, STRBR:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether o reads guest memory through the regular load path.
+func (o Opcode) IsLoad() bool {
+	switch o {
+	case LDR, LDRB, LDRR, LDRBR:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether o transfers control.
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case B, BL, BX:
+		return true
+	}
+	return false
+}
+
+// EndsBlock reports whether o terminates a translation block: control
+// transfers, the exclusive pair boundaries the DBT must observe, system
+// calls and halts.
+func (o Opcode) EndsBlock() bool {
+	switch o {
+	case B, BL, BX, SVC, HLT, YIELD:
+		return true
+	}
+	return false
+}
+
+// OpcodeByName resolves an assembler mnemonic to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

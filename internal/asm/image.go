@@ -1,0 +1,188 @@
+// Package asm provides two assemblers for the GA32 guest ISA: a programmatic
+// macro-assembler (Builder) used by the guest runtime library and the
+// synthetic workload suite, and a text assembler (Assemble) with labels,
+// directives and pseudo-instructions for hand-written guest programs.
+//
+// Both produce an Image: a flat word array to be loaded at a fixed guest
+// address, plus a symbol table.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"atomemu/internal/arch"
+)
+
+// Image is an assembled guest program: Words loaded at guest address Org,
+// execution starting at Entry.
+type Image struct {
+	Org     uint32
+	Entry   uint32
+	Words   []uint32
+	Symbols map[string]uint32
+}
+
+// Size returns the image size in bytes.
+func (im *Image) Size() uint32 { return uint32(len(im.Words)) * arch.WordBytes }
+
+// End returns the first guest address past the image.
+func (im *Image) End() uint32 { return im.Org + im.Size() }
+
+// Symbol returns the address of a defined symbol.
+func (im *Image) Symbol(name string) (uint32, error) {
+	addr, ok := im.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", name)
+	}
+	return addr, nil
+}
+
+// MustSymbol is Symbol for symbols the caller created itself.
+func (im *Image) MustSymbol(name string) uint32 {
+	addr, err := im.Symbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// Disassemble renders the image as GA32 assembly, one instruction (or data
+// word) per line, annotated with addresses and symbols.
+func (im *Image) Disassemble(w io.Writer) error {
+	bySym := make(map[uint32][]string)
+	for name, addr := range im.Symbols {
+		bySym[addr] = append(bySym[addr], name)
+	}
+	for _, names := range bySym {
+		sort.Strings(names)
+	}
+	for idx, word := range im.Words {
+		addr := im.Org + uint32(idx)*arch.WordBytes
+		for _, name := range bySym[addr] {
+			if _, err := fmt.Fprintf(w, "%s:\n", name); err != nil {
+				return err
+			}
+		}
+		in, err := arch.Decode(word)
+		text := ""
+		if err != nil {
+			text = fmt.Sprintf(".word %#08x", word)
+		} else {
+			text = in.String()
+		}
+		if _, err := fmt.Fprintf(w, "  %08x:  %08x  %s\n", addr, word, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Binary image serialization (cmd/atomemu-asm output, cmd/atomemu input).
+
+const imageMagic = 0x47413332 // "GA32"
+
+// WriteTo serializes the image in the atomemu flat binary format.
+func (im *Image) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	put32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		m, err := w.Write(buf[:])
+		n += int64(m)
+		return err
+	}
+	for _, v := range []uint32{imageMagic, im.Org, im.Entry, uint32(len(im.Words)), uint32(len(im.Symbols))} {
+		if err := put32(v); err != nil {
+			return n, err
+		}
+	}
+	names := make([]string, 0, len(im.Symbols))
+	for name := range im.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := put32(uint32(len(name))); err != nil {
+			return n, err
+		}
+		m, err := io.WriteString(w, name)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		if err := put32(im.Symbols[name]); err != nil {
+			return n, err
+		}
+	}
+	for _, word := range im.Words {
+		if err := put32(word); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadImage deserializes an image written by WriteTo.
+func ReadImage(r io.Reader) (*Image, error) {
+	get32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("asm: reading image header: %w", err)
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("asm: bad image magic %#08x", magic)
+	}
+	im := &Image{Symbols: make(map[string]uint32)}
+	if im.Org, err = get32(); err != nil {
+		return nil, err
+	}
+	if im.Entry, err = get32(); err != nil {
+		return nil, err
+	}
+	nwords, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nsyms, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	const maxWords = 1 << 26 // 256 MB of guest code/data is beyond any use here
+	if nwords > maxWords || nsyms > maxWords {
+		return nil, fmt.Errorf("asm: image header counts implausible (words=%d syms=%d)", nwords, nsyms)
+	}
+	for i := uint32(0); i < nsyms; i++ {
+		nameLen, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("asm: symbol name length %d implausible", nameLen)
+		}
+		buf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		addr, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		im.Symbols[string(buf)] = addr
+	}
+	im.Words = make([]uint32, nwords)
+	for i := range im.Words {
+		if im.Words[i], err = get32(); err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
+}

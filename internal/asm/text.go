@@ -1,0 +1,510 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atomemu/internal/arch"
+)
+
+// Assemble parses GA32 text assembly and produces an Image.
+//
+// Syntax overview:
+//
+//	; comment   // comment   @ comment
+//	.org 0x10000          set load address (before any emission)
+//	.entry main           set entry point to a label (default: .org)
+//	.equ NAME, 123        define a constant usable as an immediate
+//	.word 42              emit a data word (number or label)
+//	.space 16             emit 16 zero words
+//	.align 4              align to a multiple of 4 words
+//	label:                define a label
+//	  movw r0, #0x34      immediates take an optional '#'
+//	  ldr r1, [r2, #4]    memory operands in brackets
+//	  ldrr r1, [r2, r3]   register-offset memory
+//	  ldrex r0, [r1]      the LL
+//	  strex r2, r0, [r1]  the SC: status, value, [address]
+//	  beq label           conditional branches: b<cond>
+//	  bl func             call; bx lr / ret returns
+//	  ldr r0, =0xdeadbeef pseudo: 32-bit constant load (movw/movt)
+//	  ldr r0, =label      pseudo: address load
+//	  push {r0, r1}       stack pseudo-ops
+//	  pop {r0, r1}
+func Assemble(src string) (*Image, error) {
+	p := &parser{equs: make(map[string]int64)}
+	// First scan for .org so the builder starts at the right base.
+	org := uint32(0x10000)
+	for _, line := range strings.Split(src, "\n") {
+		fields := splitLine(line)
+		if len(fields) == 2 && fields[0] == ".org" {
+			v, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "#"), 0, 32)
+			if err != nil {
+				return nil, fmt.Errorf("asm: bad .org %q: %v", fields[1], err)
+			}
+			org = uint32(v)
+			break
+		}
+	}
+	p.b = NewBuilder(org)
+	entryLabel := ""
+	for lineno, raw := range strings.Split(src, "\n") {
+		if err := p.line(raw, &entryLabel); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
+		}
+	}
+	im, err := p.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if entryLabel != "" {
+		addr, err := im.Symbol(entryLabel)
+		if err != nil {
+			return nil, fmt.Errorf("asm: .entry: %w", err)
+		}
+		im.Entry = addr
+	}
+	return im, nil
+}
+
+type parser struct {
+	b       *Builder
+	equs    map[string]int64
+	sawOrg  bool
+	emitted bool
+}
+
+// splitLine strips comments and splits a line into mnemonic + operand string.
+func splitLine(line string) []string {
+	for _, marker := range []string{";", "//", "@"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{line}
+	}
+	return []string{line[:i], strings.TrimSpace(line[i:])}
+}
+
+func (p *parser) line(raw string, entry *string) error {
+	fields := splitLine(raw)
+	if fields == nil {
+		return nil
+	}
+	head := fields[0]
+	// Labels, possibly followed by an instruction on the same line.
+	for strings.HasSuffix(head, ":") {
+		name := strings.TrimSuffix(head, ":")
+		if name == "" {
+			return fmt.Errorf("empty label")
+		}
+		p.b.Label(name)
+		if len(fields) == 1 {
+			return nil
+		}
+		fields = splitLine(fields[1])
+		if fields == nil {
+			return nil
+		}
+		head = fields[0]
+	}
+	rest := ""
+	if len(fields) > 1 {
+		rest = fields[1]
+	}
+	if strings.HasPrefix(head, ".") {
+		return p.directive(head, rest, entry)
+	}
+	p.emitted = true
+	return p.instruction(strings.ToLower(head), rest)
+}
+
+func (p *parser) directive(name, rest string, entry *string) error {
+	switch name {
+	case ".org":
+		if p.emitted || p.sawOrg {
+			return fmt.Errorf(".org must appear once, before any code")
+		}
+		p.sawOrg = true
+		return nil // already handled in the pre-scan
+	case ".entry":
+		*entry = strings.TrimSpace(rest)
+		if *entry == "" {
+			return fmt.Errorf(".entry needs a label")
+		}
+		return nil
+	case ".equ":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf(".equ needs NAME, value")
+		}
+		v, err := p.immediate(parts[1])
+		if err != nil {
+			return err
+		}
+		p.equs[parts[0]] = v
+		return nil
+	case ".word":
+		p.emitted = true
+		arg := strings.TrimSpace(rest)
+		if v, err := p.immediate(arg); err == nil {
+			p.b.Word(uint32(v))
+		} else {
+			p.b.WordLabel(arg)
+		}
+		return nil
+	case ".space":
+		p.emitted = true
+		v, err := p.immediate(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf(".space needs a non-negative word count")
+		}
+		p.b.Space(int(v))
+		return nil
+	case ".align":
+		p.emitted = true
+		v, err := p.immediate(rest)
+		if err != nil || v <= 0 {
+			return fmt.Errorf(".align needs a positive word multiple")
+		}
+		p.b.AlignWords(int(v))
+		return nil
+	}
+	return fmt.Errorf("unknown directive %s", name)
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func parseReg(s string) (arch.Reg, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return arch.SP, nil
+	case "lr":
+		return arch.LR, nil
+	case "pc":
+		return arch.PC, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < arch.NumRegs {
+			return arch.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func (p *parser) immediate(s string) (int64, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	if v, ok := p.equs[s]; ok {
+		if neg {
+			return -v, nil
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// memOperand parses "[rn]", "[rn, #imm]" or "[rn, rm]". The bool reports
+// whether the offset is a register.
+func (p *parser) memOperand(s string) (rn, rm arch.Reg, imm int64, isReg bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("bad memory operand %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	rn, err = parseReg(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return
+	}
+	switch len(parts) {
+	case 1:
+		return rn, 0, 0, false, nil
+	case 2:
+		off := strings.TrimSpace(parts[1])
+		if r, rerr := parseReg(off); rerr == nil {
+			return rn, r, 0, true, nil
+		}
+		imm, err = p.immediate(off)
+		return rn, 0, imm, false, err
+	}
+	return 0, 0, 0, false, fmt.Errorf("bad memory operand %q", s)
+}
+
+func (p *parser) instruction(mn, rest string) error {
+	ops := splitOperands(rest)
+	reg := func(i int) (arch.Reg, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mn, i+1)
+		}
+		return parseReg(ops[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mn, i+1)
+		}
+		return p.immediate(ops[i])
+	}
+
+	// Pseudo-instructions first.
+	switch mn {
+	case "ret":
+		p.b.Ret()
+		return nil
+	case "push", "pop":
+		if len(ops) != 1 || !strings.HasPrefix(ops[0], "{") || !strings.HasSuffix(ops[0], "}") {
+			return fmt.Errorf("%s needs {reg, ...}", mn)
+		}
+		var regs []arch.Reg
+		for _, rs := range strings.Split(ops[0][1:len(ops[0])-1], ",") {
+			r, err := parseReg(strings.TrimSpace(rs))
+			if err != nil {
+				return err
+			}
+			regs = append(regs, r)
+		}
+		if mn == "push" {
+			p.b.Push(regs...)
+		} else {
+			p.b.Pop(regs...)
+		}
+		return nil
+	case "ldr":
+		// ldr rd, =imm32 / =label pseudo.
+		if len(ops) == 2 && strings.HasPrefix(ops[1], "=") {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			arg := strings.TrimPrefix(ops[1], "=")
+			if v, err := p.immediate(arg); err == nil {
+				p.b.MovImm32(rd, uint32(v))
+			} else {
+				p.b.LoadAddr(rd, arg)
+			}
+			return nil
+		}
+	}
+
+	// Branches: bl, bx, b, b<cond>.
+	switch {
+	case mn == "bl":
+		if len(ops) != 1 {
+			return fmt.Errorf("bl needs a label")
+		}
+		p.b.BL(ops[0])
+		return nil
+	case mn == "bx":
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		p.b.Bx(r)
+		return nil
+	case mn == "b":
+		if len(ops) != 1 {
+			return fmt.Errorf("b needs a label")
+		}
+		p.b.B(ops[0])
+		return nil
+	case len(mn) > 1 && mn[0] == 'b':
+		for c := arch.Cond(0); c < arch.NumConds; c++ {
+			if mn == "b"+c.String() {
+				if len(ops) != 1 {
+					return fmt.Errorf("%s needs a label", mn)
+				}
+				p.b.BCond(c, ops[0])
+				return nil
+			}
+		}
+	}
+
+	op, ok := arch.OpcodeByName(mn)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	switch op.Format() {
+	case arch.Fmt3R:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(2)
+		if err != nil {
+			return err
+		}
+		p.b.op3(op, rd, rn, rm)
+	case arch.Fmt2RI:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rn, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		p.b.op2i(op, rd, rn, int32(v))
+	case arch.Fmt2R:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return err
+		}
+		p.b.emit(arch.Instruction{Op: op, Rd: rd, Rm: rm})
+	case arch.FmtRI16, arch.FmtRI12:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		p.b.emit(arch.Instruction{Op: op, Rd: rd, Imm: int32(v)})
+	case arch.FmtCmpR:
+		rn, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return err
+		}
+		p.b.emit(arch.Instruction{Op: op, Rn: rn, Rm: rm})
+	case arch.FmtCmpI:
+		rn, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		p.b.emit(arch.Instruction{Op: op, Rn: rn, Imm: int32(v)})
+	case arch.FmtMem:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rd, [rn, #imm]", mn)
+		}
+		rn, _, off, isReg, err := p.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		if isReg {
+			return fmt.Errorf("%s takes an immediate offset (use %sr for register offset)", mn, mn)
+		}
+		p.b.emit(arch.Instruction{Op: op, Rd: rd, Rn: rn, Imm: int32(off)})
+	case arch.FmtMemR:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rd, [rn, rm]", mn)
+		}
+		rn, rm, _, isReg, err := p.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		if !isReg {
+			return fmt.Errorf("%s needs a register offset", mn)
+		}
+		p.b.emit(arch.Instruction{Op: op, Rd: rd, Rn: rn, Rm: rm})
+	case arch.FmtEx:
+		if op == arch.LDREX {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			if len(ops) != 2 {
+				return fmt.Errorf("ldrex needs rd, [rn]")
+			}
+			rn, _, _, _, err := p.memOperand(ops[1])
+			if err != nil {
+				return err
+			}
+			p.b.Ldrex(rd, rn)
+		} else {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rm, err := reg(1)
+			if err != nil {
+				return err
+			}
+			if len(ops) != 3 {
+				return fmt.Errorf("strex needs rd, rm, [rn]")
+			}
+			rn, _, _, _, err := p.memOperand(ops[2])
+			if err != nil {
+				return err
+			}
+			p.b.Strex(rd, rm, rn)
+		}
+	case arch.FmtSVC:
+		v, err := imm(0)
+		if err != nil {
+			return err
+		}
+		p.b.Svc(int32(v))
+	case arch.FmtNone:
+		p.b.emit(arch.Instruction{Op: op})
+	default:
+		return fmt.Errorf("unhandled mnemonic %q", mn)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"atomemu/internal/hashtab"
+)
+
+// HashTable is the HST store-test table type (re-exported so engine and
+// harness configuration only import core).
+type HashTable = hashtab.Table
+
+// NewHashTable creates a store-test table with 2^bits entries.
+func NewHashTable(bits uint) (*HashTable, error) { return hashtab.New(bits) }
+
+type brokenFlag = atomic.Bool
+
+// noInstrumentation provides the default hooks for schemes that do not
+// instrument regular loads/stores: the engine never calls these (it uses
+// its uninstrumented fast path), but the methods exist so such schemes
+// satisfy Scheme, and they behave sensibly if invoked directly.
+type noInstrumentation struct{}
+
+func (noInstrumentation) InstrumentsStores() bool { return false }
+func (noInstrumentation) InstrumentsLoads() bool  { return false }
+
+func (noInstrumentation) Store(ctx Context, addr, val uint32) error {
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (noInstrumentation) StoreB(ctx Context, addr uint32, val uint8) error {
+	if f := ctx.Mem().StoreByte(addr, val); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (noInstrumentation) Load(ctx Context, addr uint32) (uint32, error) {
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+func (noInstrumentation) LoadB(ctx Context, addr uint32) (uint8, error) {
+	v, f := ctx.Mem().LoadByte(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+// plainLoads provides uninstrumented load hooks for schemes that only
+// instrument stores.
+type plainLoads struct{}
+
+func (plainLoads) InstrumentsLoads() bool { return false }
+
+func (plainLoads) Load(ctx Context, addr uint32) (uint32, error) {
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+func (plainLoads) LoadB(ctx Context, addr uint32) (uint8, error) {
+	v, f := ctx.Mem().LoadByte(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}

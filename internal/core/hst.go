@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"atomemu/internal/hashtab"
+	"atomemu/internal/stats"
+)
+
+// hst is the paper's Hash Table-Based Store Test (§III-A, Fig. 4/5), the
+// headline scheme. A flat non-blocking hash table records the thread id of
+// the last instrumented access to every (aliased) word:
+//
+//	LL    x: Htable_set(x, tid); load x
+//	store x: Htable_set(x, tid); store x        (one inline atomic store)
+//	SC    x: start_exclusive
+//	         if monitor armed and Htable_check(x) == tid: store x; success
+//	         end_exclusive
+//
+// Any store or LL by another thread between the LL and the SC flips the
+// entry and fails the SC — strong atomicity. Hash collisions (distinct
+// addresses sharing an entry) only cause spurious SC failures, which the
+// guest retries; the paper measures them at 2.4% on PARSEC.
+//
+// Faithfulness note: like the paper's design, a thread's *own* store to an
+// address that collides with its active monitor rewrites the entry with its
+// own tid and therefore does not break the monitor; the window this opens
+// requires self-collision within one LL/SC region and is accepted by the
+// paper.
+type hst struct {
+	plainLoads
+	cost *CostModel
+	tab  *hashtab.Table
+	// shadow, when non-nil, records the last address stored into each
+	// entry so genuine collisions can be counted (profiling only).
+	shadow []atomic.Uint32
+}
+
+// NewHST constructs the HST scheme.
+func NewHST(cost *CostModel, tab *hashtab.Table) Scheme {
+	return &hst{cost: cost, tab: tab}
+}
+
+// NewHSTProfiled constructs HST with collision profiling enabled.
+func NewHSTProfiled(cost *CostModel, tab *hashtab.Table) Scheme {
+	return &hst{cost: cost, tab: tab, shadow: make([]atomic.Uint32, tab.Len())}
+}
+
+func (s *hst) Name() string            { return "hst" }
+func (s *hst) Atomicity() Atomicity    { return AtomicityStrong }
+func (s *hst) Portable() bool          { return true }
+func (s *hst) InstrumentsStores() bool { return true }
+
+func (s *hst) set(ctx Context, addr, tid uint32) {
+	if s.shadow != nil {
+		if prev := s.shadow[s.tab.Index(addr)].Swap(addr); prev != 0 && prev != addr {
+			ctx.Stats().HashConflicts++
+		}
+	}
+	s.tab.Set(addr, tid)
+}
+
+func (s *hst) LL(ctx Context, addr uint32) (uint32, error) {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.set(ctx, addr, ctx.TID())
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	m := ctx.Monitor()
+	m.Active = true
+	m.Addr = addr
+	m.Val = v
+	return v, nil
+}
+
+func (s *hst) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	defer m.Reset()
+	if !m.Active || m.Addr != addr {
+		return 1, nil
+	}
+	ctx.StartExclusive()
+	defer ctx.EndExclusive()
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	if !s.tab.CheckOwner(addr, ctx.TID()) {
+		return 1, nil
+	}
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return 1, f
+	}
+	return 0, nil
+}
+
+func (s *hst) Clrex(ctx Context) { ctx.Monitor().Reset() }
+
+func (s *hst) Store(ctx Context, addr, val uint32) error {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.set(ctx, addr, ctx.TID())
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (s *hst) StoreB(ctx Context, addr uint32, val uint8) error {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.set(ctx, addr&^3, ctx.TID())
+	if f := ctx.Mem().StoreByte(addr, val); f != nil {
+		return f
+	}
+	return nil
+}
+
+// hstWeak is HST-WEAK (§III-C, Fig. 7): the store instrumentation is
+// dropped entirely — only LL and SC touch the hash table, and the SC uses
+// the entry itself as a tiny lock instead of stopping the world. Conflicts
+// among LL/SC pairs are still caught (the entry carries the claiming
+// thread's id), but a plain store between LL and SC goes unnoticed: weak
+// atomicity, the same level QEMU's PICO-CAS aims for, at far lower cost
+// than full HST.
+type hstWeak struct {
+	noInstrumentation
+	cost *CostModel
+	tab  *hashtab.Table
+}
+
+// NewHSTWeak constructs the HST-WEAK scheme.
+func NewHSTWeak(cost *CostModel, tab *hashtab.Table) Scheme {
+	return &hstWeak{cost: cost, tab: tab}
+}
+
+func (s *hstWeak) Name() string         { return "hst-weak" }
+func (s *hstWeak) Atomicity() Atomicity { return AtomicityWeak }
+func (s *hstWeak) Portable() bool       { return true }
+
+func (s *hstWeak) LL(ctx Context, addr uint32) (uint32, error) {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	// SetWait respects a concurrent SC's entry lock; overwriting it would
+	// let two SCs into their critical sections at once.
+	s.tab.SetWait(addr, ctx.TID())
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	m := ctx.Monitor()
+	m.Active = true
+	m.Addr = addr
+	m.Val = v
+	return v, nil
+}
+
+func (s *hstWeak) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	defer m.Reset()
+	if !m.Active || m.Addr != addr {
+		return 1, nil
+	}
+	tid := ctx.TID()
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline+s.cost.HostAtomic)
+	if !s.tab.Lock(addr, tid) {
+		// Entry stolen by another thread's LL or SC since our LL.
+		return 1, nil
+	}
+	f := ctx.Mem().StoreWord(addr, val)
+	s.tab.Unlock(addr, tid)
+	if f != nil {
+		return 1, f
+	}
+	return 0, nil
+}
+
+func (s *hstWeak) Clrex(ctx Context) { ctx.Monitor().Reset() }
+
+// NoteStore implements StoreNotifier: a fused RMW claims the word's hash
+// entry just like an instrumented store, breaking foreign monitors.
+func (s *hst) NoteStore(ctx Context, addr uint32) {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.set(ctx, addr, ctx.TID())
+}

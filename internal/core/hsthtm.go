@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+
+	"atomemu/internal/hashtab"
+	"atomemu/internal/htm"
+	"atomemu/internal/stats"
+)
+
+// hstHTM is HST-HTM (§III-B, Fig. 6): identical instrumentation to HST, but
+// the SC's check-and-update critical section runs as a hardware transaction
+// instead of a stop-the-world exclusive section. Crucially — and unlike
+// PICO-HTM — only the SC emulation itself is transactional, so no QEMU
+// emulation work can land inside the transaction and livelock it.
+//
+// The transaction's footprint is the hash entry plus the guest word. Hash
+// entries are mapped into the transactional address space at
+// entrySpaceBit|index<<2; the plain-store path publishes entry updates
+// through TM.NotifyStore at that synthetic address, which is how a
+// conflicting store aborts an in-flight SC.
+type hstHTM struct {
+	plainLoads
+	cost *CostModel
+	tab  *hashtab.Table
+	tm   *htm.TM
+	// fallbackAfter is the abort count after which the SC falls back to
+	// the stop-the-world path (forward progress guarantee).
+	fallbackAfter int
+}
+
+// entrySpaceBit distinguishes hash-table entries from guest addresses in
+// the transactional address space. Guest images must stay below 2 GiB when
+// an HTM scheme is active (the engine's default layout does).
+const entrySpaceBit uint32 = 1 << 31
+
+// NewHSTHTM constructs the HST-HTM scheme.
+func NewHSTHTM(cost *CostModel, tab *hashtab.Table, tm *htm.TM) Scheme {
+	return &hstHTM{cost: cost, tab: tab, tm: tm, fallbackAfter: 8}
+}
+
+func (s *hstHTM) Name() string            { return "hst-htm" }
+func (s *hstHTM) Atomicity() Atomicity    { return AtomicityStrong }
+func (s *hstHTM) Portable() bool          { return false }
+func (s *hstHTM) InstrumentsStores() bool { return true }
+
+func (s *hstHTM) entryAddr(addr uint32) uint32 {
+	return entrySpaceBit | s.tab.Index(addr)<<2
+}
+
+// txLoad dispatches transactional reads to the hash table or guest memory.
+func (s *hstHTM) txLoad(ctx Context) func(addr uint32) (uint32, error) {
+	return func(addr uint32) (uint32, error) {
+		if addr&entrySpaceBit != 0 {
+			return s.tab.LoadIndex(addr &^ entrySpaceBit >> 2), nil
+		}
+		v, f := ctx.Mem().LoadWord(addr)
+		if f != nil {
+			return 0, f
+		}
+		return v, nil
+	}
+}
+
+// txStore dispatches transactional commits.
+func (s *hstHTM) txStore(ctx Context) func(addr, val uint32) error {
+	return func(addr, val uint32) error {
+		if addr&entrySpaceBit != 0 {
+			s.tab.StoreIndex(addr&^entrySpaceBit>>2, val)
+			return nil
+		}
+		if f := ctx.Mem().StoreWord(addr, val); f != nil {
+			return f
+		}
+		return nil
+	}
+}
+
+func (s *hstHTM) setAndNotify(addr, tid uint32) {
+	s.tab.Set(addr, tid)
+	s.tm.NotifyStore(entrySpaceBit | s.tab.Index(addr)<<2)
+}
+
+func (s *hstHTM) LL(ctx Context, addr uint32) (uint32, error) {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.setAndNotify(addr, ctx.TID())
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	m := ctx.Monitor()
+	m.Active = true
+	m.Addr = addr
+	m.Val = v
+	return v, nil
+}
+
+func (s *hstHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	defer m.Reset()
+	if !m.Active || m.Addr != addr {
+		return 1, nil
+	}
+	tid := ctx.TID()
+	load, store := s.txLoad(ctx), s.txStore(ctx)
+	for attempt := 0; ; attempt++ {
+		if attempt >= s.fallbackAfter {
+			// Fallback path: the HST stop-the-world critical section.
+			ctx.StartExclusive()
+			defer ctx.EndExclusive()
+			if !s.tab.CheckOwner(addr, tid) {
+				return 1, nil
+			}
+			if f := ctx.Mem().StoreWord(addr, val); f != nil {
+				return 1, f
+			}
+			return 0, nil
+		}
+		ctx.Charge(stats.CompHTM, s.cost.HTMBegin)
+		txn := s.tm.Begin(load)
+		owner, err := txn.Read(s.entryAddr(addr))
+		if err != nil {
+			var ab *htm.Abort
+			if errors.As(err, &ab) {
+				ctx.Stats().HTMAborts++
+				ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+				continue
+			}
+			return 1, err
+		}
+		if owner != tid {
+			// Entry changed since our LL: genuine SC failure, not an abort.
+			txn.AbortNow(htm.ReasonConflict)
+			return 1, nil
+		}
+		if err := txn.Write(addr, val); err != nil {
+			ctx.Stats().HTMAborts++
+			ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+			continue
+		}
+		if err := txn.Commit(store); err != nil {
+			var ab *htm.Abort
+			if errors.As(err, &ab) {
+				ctx.Stats().HTMAborts++
+				ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+				continue
+			}
+			return 1, err
+		}
+		ctx.Stats().HTMCommits++
+		ctx.Charge(stats.CompHTM, s.cost.HTMCommit)
+		return 0, nil
+	}
+}
+
+func (s *hstHTM) Clrex(ctx Context) { ctx.Monitor().Reset() }
+
+func (s *hstHTM) Store(ctx Context, addr, val uint32) error {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.setAndNotify(addr, ctx.TID())
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return f
+	}
+	s.tm.NotifyStore(addr)
+	return nil
+}
+
+func (s *hstHTM) StoreB(ctx Context, addr uint32, val uint8) error {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.setAndNotify(addr&^3, ctx.TID())
+	if f := ctx.Mem().StoreByte(addr, val); f != nil {
+		return f
+	}
+	s.tm.NotifyStore(addr &^ 3)
+	return nil
+}
+
+// NoteStore implements StoreNotifier for fused RMWs.
+func (s *hstHTM) NoteStore(ctx Context, addr uint32) {
+	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
+	s.setAndNotify(addr, ctx.TID())
+	s.tm.NotifyStore(addr)
+}

@@ -1,0 +1,53 @@
+package core
+
+import "atomemu/internal/stats"
+
+// picoCAS is QEMU-4.1's shipping scheme (PICO-CAS in the paper, Fig. 1):
+// the LL records the loaded value and address; the SC issues a host CAS
+// comparing against that value. No store is instrumented and no exclusivity
+// is enforced, so "value unchanged" is mistaken for "nothing happened" —
+// the ABA problem. It is the fastest scheme and the correctness baseline
+// every other scheme is measured against.
+type picoCAS struct {
+	noInstrumentation
+	cost *CostModel
+}
+
+// NewPicoCAS constructs the PICO-CAS scheme.
+func NewPicoCAS(cost *CostModel) Scheme { return &picoCAS{cost: cost} }
+
+func (s *picoCAS) Name() string         { return "pico-cas" }
+func (s *picoCAS) Atomicity() Atomicity { return AtomicityIncorrect }
+func (s *picoCAS) Portable() bool       { return true }
+
+func (s *picoCAS) LL(ctx Context, addr uint32) (uint32, error) {
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	m := ctx.Monitor()
+	m.Active = true
+	m.Addr = addr
+	m.Val = v
+	ctx.Charge(stats.CompNative, s.cost.MemAccess)
+	return v, nil
+}
+
+func (s *picoCAS) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	defer m.Reset()
+	if !m.Active || m.Addr != addr {
+		return 1, nil
+	}
+	ctx.Charge(stats.CompNative, s.cost.HostAtomic)
+	ok, f := ctx.Mem().CASWord(addr, m.Val, val)
+	if f != nil {
+		return 1, f
+	}
+	if ok {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+func (s *picoCAS) Clrex(ctx Context) { ctx.Monitor().Reset() }

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"atomemu/internal/htm"
+	"atomemu/internal/stats"
+)
+
+// picoHTM is PICO's HTM scheme: HTM_xbegin at the LL, HTM_xend at the SC,
+// with every guest access in between running transactionally. With no store
+// instrumentation it is the fastest correct scheme at low thread counts —
+// but, as the paper observes (§III-B, Fig. 11), any emulation work between
+// the LL and the SC (a translation-cache miss, a helper, a syscall) lands
+// *inside* the transaction and aborts it. Under contention the aborts
+// cascade into livelock; the paper reports frequent crashes beyond 8
+// threads. The engine reports such a livelock as an EmulationError, the
+// analogue of the crashed QEMU run.
+//
+// Rollback note: a real HTM abort rewinds the guest to the LL. A DBT cannot
+// rewind guest registers mid-block, so after an abort inside the window this
+// implementation runs in "doomed" mode — loads and stores go directly to
+// memory and the SC is guaranteed to fail, sending the guest back around its
+// retry loop. Stores executed doomed are applied directly; LL/SC regions
+// write only thread-private scratch before the SC in all the paper's
+// workloads, so this matches the fallback-path semantics.
+type picoHTM struct {
+	cost *CostModel
+	tm   *htm.TM
+	// livelockLimit is the number of consecutive aborts after which the
+	// scheme declares livelock.
+	livelockLimit int
+}
+
+// NewPicoHTM constructs the PICO-HTM scheme.
+func NewPicoHTM(cost *CostModel, tm *htm.TM) Scheme {
+	return &picoHTM{cost: cost, tm: tm, livelockLimit: 48}
+}
+
+func (s *picoHTM) Name() string            { return "pico-htm" }
+func (s *picoHTM) Atomicity() Atomicity    { return AtomicityStrong }
+func (s *picoHTM) Portable() bool          { return false }
+func (s *picoHTM) InstrumentsStores() bool { return true }
+func (s *picoHTM) InstrumentsLoads() bool  { return true }
+
+func (s *picoHTM) memLoad(ctx Context) func(addr uint32) (uint32, error) {
+	return func(addr uint32) (uint32, error) {
+		if addr&(1<<31) != 0 {
+			// Synthetic emulator-state address (engine.EmulStateAddr):
+			// only its version matters for conflict detection.
+			return 0, nil
+		}
+		v, f := ctx.Mem().LoadWord(addr)
+		if f != nil {
+			return 0, f
+		}
+		return v, nil
+	}
+}
+
+func (s *picoHTM) memStore(ctx Context) func(addr, val uint32) error {
+	return func(addr, val uint32) error {
+		if f := ctx.Mem().StoreWord(addr, val); f != nil {
+			return f
+		}
+		return nil
+	}
+}
+
+// noteAbort bumps the livelock counter; the returned error is non-nil when
+// the scheme declares livelock.
+func (s *picoHTM) noteAbort(ctx Context) error {
+	m := ctx.Monitor()
+	m.AbortStreak++
+	ctx.Stats().HTMAborts++
+	ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+	if m.AbortStreak > s.livelockLimit {
+		return &EmulationError{
+			Scheme: s.Name(),
+			Reason: fmt.Sprintf("livelock: %d consecutive HTM aborts (thread %d)", m.AbortStreak, ctx.TID()),
+		}
+	}
+	return nil
+}
+
+func (s *picoHTM) LL(ctx Context, addr uint32) (uint32, error) {
+	m := ctx.Monitor()
+	if m.Txn != nil && !m.Txn.Done() {
+		// Nested/abandoned LL: the previous transaction is discarded, as a
+		// new LL re-arms the monitor.
+		m.Txn.AbortNow(htm.ReasonConflict)
+	}
+	for {
+		ctx.Charge(stats.CompHTM, s.cost.HTMBegin)
+		txn := s.tm.Begin(s.memLoad(ctx))
+		v, err := txn.Read(addr)
+		if err != nil {
+			var ab *htm.Abort
+			if errors.As(err, &ab) {
+				if lerr := s.noteAbort(ctx); lerr != nil {
+					m.Reset()
+					return 0, lerr
+				}
+				continue
+			}
+			txn.AbortNow(htm.ReasonConflict)
+			m.Reset()
+			return 0, err
+		}
+		m.Active = true
+		m.Addr = addr
+		m.Val = v
+		m.Txn = txn
+		return v, nil
+	}
+}
+
+func (s *picoHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	txn := m.Txn
+	defer m.Reset()
+	if !m.Active || m.Addr != addr || txn == nil {
+		return 1, nil
+	}
+	if txn.Done() {
+		// Doomed window: an abort happened between LL and SC (emulation
+		// work or a conflicting access). It counts toward livelock.
+		if lerr := s.noteAbort(ctx); lerr != nil {
+			return 1, lerr
+		}
+		return 1, nil
+	}
+	if err := txn.Write(addr, val); err != nil {
+		if lerr := s.noteAbort(ctx); lerr != nil {
+			return 1, lerr
+		}
+		return 1, nil
+	}
+	if err := txn.Commit(s.memStore(ctx)); err != nil {
+		var ab *htm.Abort
+		if errors.As(err, &ab) {
+			if lerr := s.noteAbort(ctx); lerr != nil {
+				return 1, lerr
+			}
+			return 1, nil
+		}
+		return 1, err
+	}
+	m.AbortStreak = 0
+	ctx.Stats().HTMCommits++
+	ctx.Charge(stats.CompHTM, s.cost.HTMCommit)
+	return 0, nil
+}
+
+func (s *picoHTM) Clrex(ctx Context) {
+	m := ctx.Monitor()
+	if m.Txn != nil && !m.Txn.Done() {
+		m.Txn.AbortNow(htm.ReasonConflict)
+	}
+	m.Reset()
+}
+
+func (s *picoHTM) Load(ctx Context, addr uint32) (uint32, error) {
+	m := ctx.Monitor()
+	if m.Txn != nil && !m.Txn.Done() {
+		v, err := m.Txn.Read(addr)
+		if err == nil {
+			return v, nil
+		}
+		var ab *htm.Abort
+		if !errors.As(err, &ab) {
+			return 0, err
+		}
+		ctx.Stats().HTMAborts++
+		ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+		// Doomed: fall through to a direct read; SC will fail.
+	}
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+func (s *picoHTM) LoadB(ctx Context, addr uint32) (uint8, error) {
+	// Byte loads inside the window read the containing word
+	// transactionally.
+	m := ctx.Monitor()
+	if m.Txn != nil && !m.Txn.Done() {
+		w, err := m.Txn.Read(addr &^ 3)
+		if err == nil {
+			return uint8(w >> (8 * (addr & 3))), nil
+		}
+		var ab *htm.Abort
+		if !errors.As(err, &ab) {
+			return 0, err
+		}
+		ctx.Stats().HTMAborts++
+		ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+	}
+	v, f := ctx.Mem().LoadByte(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+func (s *picoHTM) Store(ctx Context, addr, val uint32) error {
+	m := ctx.Monitor()
+	if m.Txn != nil && !m.Txn.Done() {
+		if err := m.Txn.Write(addr, val); err == nil {
+			return nil
+		} else {
+			var ab *htm.Abort
+			if !errors.As(err, &ab) {
+				return err
+			}
+			ctx.Stats().HTMAborts++
+			ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+			// Doomed: apply directly below.
+		}
+	}
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return f
+	}
+	s.tm.NotifyStore(addr)
+	return nil
+}
+
+func (s *picoHTM) StoreB(ctx Context, addr uint32, val uint8) error {
+	m := ctx.Monitor()
+	if m.Txn != nil && !m.Txn.Done() {
+		w, err := m.Txn.Read(addr &^ 3)
+		if err == nil {
+			shift := 8 * (addr & 3)
+			nw := w&^(0xff<<shift) | uint32(val)<<shift
+			if err := m.Txn.Write(addr&^3, nw); err == nil {
+				return nil
+			}
+		}
+		ctx.Stats().HTMAborts++
+		ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+	}
+	if f := ctx.Mem().StoreByte(addr, val); f != nil {
+		return f
+	}
+	s.tm.NotifyStore(addr &^ 3)
+	return nil
+}
+
+// NoteStore implements StoreNotifier: fused RMWs conflict with open
+// transactions reading the word.
+func (s *picoHTM) NoteStore(ctx Context, addr uint32) {
+	s.tm.NotifyStore(addr)
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"sync"
+
+	"atomemu/internal/mmu"
+	"atomemu/internal/stats"
+)
+
+// pst is the Page Protection-Based Store Test (§III-D, Fig. 8). Instead of
+// instrumenting every store, the LL write-protects the page holding the
+// atomic variable; a store from any thread to that page takes a page fault,
+// whose handler checks the faulting address against the page's armed
+// monitors, breaks the conflicting ones, and performs the store. The SC runs
+// in an exclusive section, flips the protection to commit, and restores it.
+//
+// Store instrumentation is therefore free on the fast path (an unprotected
+// page stores normally) but each LL/SC pays protection-syscall and
+// suspension costs, and stores to a protected page that miss the monitored
+// word pay a fault anyway — the paper's "false sharing", which grows with
+// thread count.
+//
+// Mechanically this implementation serializes page state with a per-page
+// mutex instead of the engine's stop-the-world (a fault handler running
+// inside a vCPU's execution region must never wait on a stopped world), and
+// commits through permission-bypassing writes; the paper's suspension and
+// mprotect costs are charged through Context.ChargeExclusive and the cost
+// model so the timing behaviour matches the measured system.
+type pst struct {
+	cost *CostModel
+
+	mu    sync.Mutex // guards pages map
+	pages map[uint32]*pstPage
+}
+
+type pstPage struct {
+	pmu       sync.Mutex // serializes monitors, protection state and SC/fault handling
+	refcnt    int
+	protected bool
+	origPerm  mmu.Perm
+	monitors  map[uint32]*pstMonitor // tid -> armed monitor
+	remapping bool                   // PST-REMAP: SC remap window open
+	mpk       *mpkState              // PST-MPK: key bookkeeping
+}
+
+type pstMonitor struct {
+	addr uint32
+	mon  *Monitor
+}
+
+// NewPST constructs the PST scheme.
+func NewPST(cost *CostModel) Scheme {
+	return &pst{cost: cost, pages: make(map[uint32]*pstPage)}
+}
+
+func (s *pst) Name() string            { return "pst" }
+func (s *pst) Atomicity() Atomicity    { return AtomicityStrong }
+func (s *pst) Portable() bool          { return true }
+func (s *pst) InstrumentsStores() bool { return true }
+func (s *pst) InstrumentsLoads() bool  { return false }
+
+func (s *pst) page(base uint32) *pstPage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pages[base]
+	if p == nil {
+		p = &pstPage{monitors: make(map[uint32]*pstMonitor)}
+		s.pages[base] = p
+	}
+	return p
+}
+
+func (s *pst) lookup(base uint32) *pstPage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages[base]
+}
+
+// releaseLocked removes tid's monitor from p and restores protection when
+// the last monitor leaves. Caller holds p.pmu.
+func (s *pst) releaseLocked(ctx Context, base uint32, p *pstPage, tid uint32) {
+	if _, armed := p.monitors[tid]; !armed {
+		return
+	}
+	delete(p.monitors, tid)
+	p.refcnt--
+	if p.refcnt == 0 && p.protected {
+		if err := ctx.Mem().Protect(base, mmu.PageSize, p.origPerm); err == nil {
+			p.protected = false
+		}
+		ctx.Charge(stats.CompMProtect, s.cost.MProtect)
+	}
+}
+
+// breakOthersLocked breaks every monitor on addr's word held by a thread
+// other than tid. Caller holds p.pmu.
+func (s *pst) breakOthersLocked(p *pstPage, addr, tid uint32) {
+	for monTID, pm := range p.monitors {
+		if monTID != tid && pm.addr&^3 == addr&^3 {
+			pm.mon.Break()
+		}
+	}
+}
+
+// release drops the vCPU's current monitor, if any.
+func (s *pst) release(ctx Context) {
+	m := ctx.Monitor()
+	if !m.Active {
+		return
+	}
+	base := mmu.PageBase(m.Addr)
+	if p := s.lookup(base); p != nil {
+		p.pmu.Lock()
+		s.releaseLocked(ctx, base, p, ctx.TID())
+		p.pmu.Unlock()
+	}
+	m.Reset()
+}
+
+func (s *pst) LL(ctx Context, addr uint32) (uint32, error) {
+	s.release(ctx)
+	base := mmu.PageBase(addr)
+	p := s.page(base)
+
+	p.pmu.Lock()
+	m := ctx.Monitor()
+	m.ClearBroken()
+	m.Active = true
+	m.Addr = addr
+	p.monitors[ctx.TID()] = &pstMonitor{addr: addr, mon: m}
+	p.refcnt++
+	if !p.protected {
+		p.origPerm = ctx.Mem().PermAt(base)
+		if p.origPerm == 0 {
+			// Unmapped page: undo and fault like the guest load would.
+			s.releaseLocked(ctx, base, p, ctx.TID())
+			p.pmu.Unlock()
+			m.Reset()
+			return 0, &mmu.Fault{Addr: addr, Kind: mmu.FaultUnmapped, Access: mmu.AccessLoad}
+		}
+		if err := ctx.Mem().Protect(base, mmu.PageSize, p.origPerm&^mmu.PermWrite); err != nil {
+			s.releaseLocked(ctx, base, p, ctx.TID())
+			p.pmu.Unlock()
+			m.Reset()
+			return 0, err
+		}
+		p.protected = true
+	}
+	// The paper's LL: one mprotect syscall plus suspending the other vCPUs.
+	ctx.Charge(stats.CompMProtect, s.cost.MProtect)
+	ctx.ChargeExclusive()
+	v, f := ctx.Mem().ReadWordPriv(addr)
+	p.pmu.Unlock()
+	if f != nil {
+		s.release(ctx)
+		return 0, f
+	}
+	m.Val = v
+	return v, nil
+}
+
+func (s *pst) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	if !m.Active {
+		return 1, nil
+	}
+	base := mmu.PageBase(m.Addr)
+	p := s.lookup(base)
+	if p == nil {
+		m.Reset()
+		return 1, nil
+	}
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	defer m.Reset()
+	// The paper's SC: exclusive section + two protection flips.
+	ctx.ChargeExclusive()
+	ctx.Charge(stats.CompMProtect, 2*s.cost.MProtect)
+	ok := m.Addr == addr && !m.Broken()
+	var fault *mmu.Fault
+	if ok {
+		// The SC's own update is a store to the variable: it breaks every
+		// other thread's monitor on the same word.
+		s.breakOthersLocked(p, addr, ctx.TID())
+		fault = ctx.Mem().WriteWordPriv(addr, val)
+	}
+	s.releaseLocked(ctx, base, p, ctx.TID())
+	if fault != nil {
+		return 1, fault
+	}
+	if ok {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+func (s *pst) Clrex(ctx Context) { s.release(ctx) }
+
+// handleStoreFault is the SIGSEGV-handler analogue: break conflicting
+// monitors on the page and perform the store with privileges. wordBase is
+// the 4-aligned address the monitors are compared against.
+func (s *pst) handleStoreFault(ctx Context, base, wordBase uint32, commit func() *mmu.Fault) error {
+	st := ctx.Stats()
+	st.PageFaults++
+	ctx.Charge(stats.CompMProtect, s.cost.PageFault)
+	p := s.lookup(base)
+	if p == nil {
+		// Genuinely protected page, not one of ours.
+		return &mmu.Fault{Addr: wordBase, Kind: mmu.FaultProtected, Access: mmu.AccessStore}
+	}
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	tid := ctx.TID()
+	matched := false
+	for monTID, pm := range p.monitors {
+		if pm.addr&^3 == wordBase {
+			matched = true
+			if monTID != tid {
+				pm.mon.Break()
+			}
+		}
+	}
+	if !matched {
+		st.FalseSharing++
+	}
+	if f := commit(); f != nil {
+		return f
+	}
+	return nil
+}
+
+func (s *pst) Store(ctx Context, addr, val uint32) error {
+	f := ctx.Mem().StoreWord(addr, val)
+	if f == nil {
+		return nil
+	}
+	if f.Kind != mmu.FaultProtected {
+		return f
+	}
+	return s.handleStoreFault(ctx, mmu.PageBase(addr), addr, func() *mmu.Fault {
+		return ctx.Mem().WriteWordPriv(addr, val)
+	})
+}
+
+func (s *pst) StoreB(ctx Context, addr uint32, val uint8) error {
+	f := ctx.Mem().StoreByte(addr, val)
+	if f == nil {
+		return nil
+	}
+	if f.Kind != mmu.FaultProtected {
+		return f
+	}
+	return s.handleStoreFault(ctx, mmu.PageBase(addr), addr&^3, func() *mmu.Fault {
+		// Privileged read-modify-write of the containing word.
+		w, rf := ctx.Mem().ReadWordPriv(addr &^ 3)
+		if rf != nil {
+			return rf
+		}
+		shift := 8 * (addr & 3)
+		return ctx.Mem().WriteWordPriv(addr&^3, w&^(0xff<<shift)|uint32(val)<<shift)
+	})
+}
+
+func (s *pst) Load(ctx Context, addr uint32) (uint32, error) {
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+func (s *pst) LoadB(ctx Context, addr uint32) (uint8, error) {
+	v, f := ctx.Mem().LoadByte(addr)
+	if f != nil {
+		return 0, f
+	}
+	return v, nil
+}
+
+// NoteStore implements StoreNotifier: a fused RMW on a monitored page breaks
+// the other threads' monitors on that word (the page-fault handler's job for
+// regular stores).
+func (s *pst) NoteStore(ctx Context, addr uint32) {
+	p := s.lookup(mmu.PageBase(addr))
+	if p == nil {
+		return
+	}
+	p.pmu.Lock()
+	s.breakOthersLocked(p, addr, ctx.TID())
+	p.pmu.Unlock()
+}

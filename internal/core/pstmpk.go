@@ -1,0 +1,251 @@
+package core
+
+import (
+	"atomemu/internal/mmu"
+	"atomemu/internal/mpk"
+	"atomemu/internal/stats"
+)
+
+// pstMPK is the Memory-Protection-Keys variant of PST sketched in the
+// paper's §VI discussion: instead of an mprotect syscall (kernel entry,
+// page-table update, stop-the-world), the LL tags the monitored page with
+// one of Intel MPK's 16 protection keys — an unprivileged, thread-local
+// operation. Stores to tagged pages trap exactly as under PST (the fault
+// cost is unchanged; SIGSEGV is SIGSEGV), but the LL/SC path drops from
+// thousands of cycles to a WRPKRU.
+//
+// The discussion's two predicted limits are modelled faithfully:
+//
+//   - Only 15 allocatable keys exist. When more pages are monitored
+//     concurrently, the scheme falls back to classic PST mprotect for the
+//     overflow pages (counted in Stats.ExclSections via ChargeExclusive).
+//   - Synchronizing other threads' PKRU views is charged per LL through
+//     CostModel.WrPKRU on top of the owner's own register write.
+//
+// pst-mpk extends the paper's evaluated set; it is an implementation of the
+// paper's future-work proposal, not one of its eight measured schemes.
+type pstMPK struct {
+	pst
+	unit *mpk.Unit
+}
+
+// NewPSTMPK constructs the MPK-based PST variant.
+func NewPSTMPK(cost *CostModel) Scheme {
+	return &pstMPK{
+		pst:  pst{cost: cost, pages: make(map[uint32]*pstPage)},
+		unit: mpk.New(),
+	}
+}
+
+func (s *pstMPK) Name() string { return "pst-mpk" }
+
+// pageKey tracks the key assigned to a page while monitored; stored in the
+// pstPage via the spare remapping field? No — keep a side map keyed by the
+// same page struct. Simplest: key per page in a parallel map guarded by the
+// page mutex.
+
+// mpkState hangs per-page MPK bookkeeping off the shared pstPage.
+type mpkState struct {
+	key      uint8
+	fallback bool // no key available: classic PST mprotect used
+}
+
+// keyed returns the page's MPK state, lazily attached. Caller holds p.pmu.
+func (s *pstMPK) keyed(p *pstPage) *mpkState {
+	if p.mpk == nil {
+		p.mpk = &mpkState{}
+	}
+	return p.mpk
+}
+
+func (s *pstMPK) LL(ctx Context, addr uint32) (uint32, error) {
+	s.release2(ctx)
+	base := mmu.PageBase(addr)
+	p := s.page(base)
+
+	p.pmu.Lock()
+	m := ctx.Monitor()
+	m.ClearBroken()
+	m.Active = true
+	m.Addr = addr
+	p.monitors[ctx.TID()] = &pstMonitor{addr: addr, mon: m}
+	p.refcnt++
+	st := s.keyed(p)
+	if p.refcnt == 1 {
+		if ctx.Mem().PermAt(base) == 0 {
+			s.releaseMPKLocked(ctx, base, p, ctx.TID())
+			p.pmu.Unlock()
+			m.Reset()
+			return 0, &mmu.Fault{Addr: addr, Kind: mmu.FaultUnmapped, Access: mmu.AccessLoad}
+		}
+		if key, ok := s.unit.AllocKey(); ok {
+			st.key = key
+			st.fallback = false
+			s.unit.TagPage(base, key)
+			// The owner's WRPKRU plus the cross-thread PKRU propagation
+			// the paper's discussion warns about.
+			ctx.Charge(stats.CompMProtect, s.cost.WrPKRU)
+		} else {
+			// Key exhaustion: classic PST for this page.
+			st.fallback = true
+			p.origPerm = ctx.Mem().PermAt(base)
+			if err := ctx.Mem().Protect(base, mmu.PageSize, p.origPerm&^mmu.PermWrite); err != nil {
+				s.releaseMPKLocked(ctx, base, p, ctx.TID())
+				p.pmu.Unlock()
+				m.Reset()
+				return 0, err
+			}
+			p.protected = true
+			ctx.Charge(stats.CompMProtect, s.cost.MProtect)
+			ctx.ChargeExclusive()
+		}
+	}
+	v, f := ctx.Mem().ReadWordPriv(addr)
+	p.pmu.Unlock()
+	if f != nil {
+		s.release2(ctx)
+		return 0, f
+	}
+	m.Val = v
+	return v, nil
+}
+
+// releaseMPKLocked drops tid's monitor, untagging the page when the last
+// monitor leaves. Caller holds p.pmu.
+func (s *pstMPK) releaseMPKLocked(ctx Context, base uint32, p *pstPage, tid uint32) {
+	if _, armed := p.monitors[tid]; !armed {
+		return
+	}
+	delete(p.monitors, tid)
+	p.refcnt--
+	if p.refcnt > 0 {
+		return
+	}
+	st := s.keyed(p)
+	if st.fallback {
+		if p.protected {
+			if err := ctx.Mem().Protect(base, mmu.PageSize, p.origPerm); err == nil {
+				p.protected = false
+			}
+			ctx.Charge(stats.CompMProtect, s.cost.MProtect)
+		}
+		return
+	}
+	if st.key != 0 {
+		s.unit.UntagPage(base)
+		s.unit.FreeKey(st.key)
+		st.key = 0
+		ctx.Charge(stats.CompMProtect, s.cost.WrPKRU)
+	}
+}
+
+// release2 drops the vCPU's current monitor (MPK-aware variant of
+// pst.release).
+func (s *pstMPK) release2(ctx Context) {
+	m := ctx.Monitor()
+	if !m.Active {
+		return
+	}
+	base := mmu.PageBase(m.Addr)
+	if p := s.lookup(base); p != nil {
+		p.pmu.Lock()
+		s.releaseMPKLocked(ctx, base, p, ctx.TID())
+		p.pmu.Unlock()
+	}
+	m.Reset()
+}
+
+func (s *pstMPK) SC(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	if !m.Active {
+		return 1, nil
+	}
+	base := mmu.PageBase(m.Addr)
+	p := s.lookup(base)
+	if p == nil {
+		m.Reset()
+		return 1, nil
+	}
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	defer m.Reset()
+	st := s.keyed(p)
+	if st.fallback {
+		ctx.ChargeExclusive()
+		ctx.Charge(stats.CompMProtect, 2*s.cost.MProtect)
+	} else {
+		// Grant-write / restore-deny on the owner's PKRU: two register
+		// writes, no kernel, no suspension.
+		ctx.Charge(stats.CompMProtect, 2*s.cost.WrPKRU)
+	}
+	ok := m.Addr == addr && !m.Broken()
+	var fault *mmu.Fault
+	if ok {
+		s.breakOthersLocked(p, addr, ctx.TID())
+		fault = ctx.Mem().WriteWordPriv(addr, val)
+	}
+	s.releaseMPKLocked(ctx, base, p, ctx.TID())
+	if fault != nil {
+		return 1, fault
+	}
+	if ok {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+func (s *pstMPK) Clrex(ctx Context) { s.release2(ctx) }
+
+// Store: the fast path is the hardware's free key check; a tagged page
+// diverts to the PST-style handler (a real SIGSEGV, full fault cost).
+func (s *pstMPK) Store(ctx Context, addr, val uint32) error {
+	if s.unit.KeyOf(addr) == 0 {
+		// Untagged page, but it may still be mprotect-protected (fallback).
+		f := ctx.Mem().StoreWord(addr, val)
+		if f == nil {
+			return nil
+		}
+		if f.Kind != mmu.FaultProtected {
+			return f
+		}
+		return s.handleStoreFault(ctx, mmu.PageBase(addr), addr, func() *mmu.Fault {
+			return ctx.Mem().WriteWordPriv(addr, val)
+		})
+	}
+	return s.handleStoreFault(ctx, mmu.PageBase(addr), addr, func() *mmu.Fault {
+		return ctx.Mem().WriteWordPriv(addr, val)
+	})
+}
+
+func (s *pstMPK) StoreB(ctx Context, addr uint32, val uint8) error {
+	commit := func() *mmu.Fault {
+		w, rf := ctx.Mem().ReadWordPriv(addr &^ 3)
+		if rf != nil {
+			return rf
+		}
+		shift := 8 * (addr & 3)
+		return ctx.Mem().WriteWordPriv(addr&^3, w&^(0xff<<shift)|uint32(val)<<shift)
+	}
+	if s.unit.KeyOf(addr) == 0 {
+		f := ctx.Mem().StoreByte(addr, val)
+		if f == nil {
+			return nil
+		}
+		if f.Kind != mmu.FaultProtected {
+			return f
+		}
+		return s.handleStoreFault(ctx, mmu.PageBase(addr), addr&^3, commit)
+	}
+	return s.handleStoreFault(ctx, mmu.PageBase(addr), addr&^3, commit)
+}
+
+// NoteStore implements StoreNotifier for fused RMWs.
+func (s *pstMPK) NoteStore(ctx Context, addr uint32) {
+	p := s.lookup(mmu.PageBase(addr))
+	if p == nil {
+		return
+	}
+	p.pmu.Lock()
+	s.breakOthersLocked(p, addr, ctx.TID())
+	p.pmu.Unlock()
+}

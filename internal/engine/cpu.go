@@ -1,0 +1,677 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/core"
+	"atomemu/internal/htm"
+	"atomemu/internal/ir"
+	"atomemu/internal/mmu"
+	"atomemu/internal/stats"
+)
+
+// CPU is one guest vCPU, executed by one goroutine (or single-stepped by
+// the litmus harness in step mode). It implements core.Context.
+type CPU struct {
+	m   *Machine
+	tid uint32
+
+	// slots holds the unified IR register space: [0:16] are the guest
+	// registers, the rest block-local temporaries.
+	slots []uint32
+	flags arch.Flags
+	pc    uint32
+
+	mon core.Monitor
+	st  stats.CPU
+
+	// clock is this vCPU's virtual time; read by other vCPUs during
+	// exclusive sections and sync reconciliation.
+	clock atomic.Uint64
+
+	localTBs map[uint32]*TB
+
+	// yieldRng drives randomized host-yield spacing so deschedule points
+	// sweep across all guest loop phases (a fixed cadence phase-locks with
+	// fixed-length guest loops and hides interleaving bugs like ABA).
+	yieldRng uint32
+	// lastExclSeen is the machine exclusive-section count this vCPU has
+	// already paid witness stalls for.
+	lastExclSeen uint64
+	// preemptLeft counts down guest memory operations to the next
+	// mid-block preemption point. Real hardware interleaves threads at
+	// instruction granularity; without this, a translation block is a
+	// de-facto critical section and races that need a deschedule inside a
+	// block (the ABA window between a pop's next-load and its SC) never
+	// fire.
+	preemptLeft int
+
+	halted     bool
+	haltedFlag atomic.Bool
+	exitCode   uint32
+	err        error
+	done       chan struct{} // closed when the vCPU stops
+
+}
+
+func newCPU(m *Machine, tid uint32) *CPU {
+	return &CPU{
+		m:        m,
+		tid:      tid,
+		slots:    make([]uint32, 64),
+		localTBs: make(map[uint32]*TB),
+		yieldRng: tid*2654435761 + 1,
+	}
+}
+
+// --- core.Context ---
+
+// TID returns the vCPU's thread id (1-based).
+func (c *CPU) TID() uint32 { return c.tid }
+
+// Mem returns the guest address space.
+func (c *CPU) Mem() *mmu.Memory { return c.m.mem }
+
+// Monitor returns the exclusive-monitor state.
+func (c *CPU) Monitor() *core.Monitor { return &c.mon }
+
+// StartExclusive stops the world (QEMU start_exclusive).
+func (c *CPU) StartExclusive() { c.m.excl.startExclusive(c) }
+
+// EndExclusive resumes the world.
+func (c *CPU) EndExclusive() { c.m.excl.endExclusive(c) }
+
+// ChargeExclusive accounts a stop-the-world's cost without stopping
+// (PST-family schemes serialize with page locks instead).
+func (c *CPU) ChargeExclusive() { c.m.chargeExclusiveEntry(c) }
+
+// Stats returns this vCPU's counters.
+func (c *CPU) Stats() *stats.CPU { return &c.st }
+
+// Charge adds virtual cycles to a component and advances the clock.
+func (c *CPU) charge(comp stats.Component, cycles uint64) {
+	c.st.Charge(comp, cycles)
+	c.clock.Add(cycles)
+}
+
+// Charge implements core.Context.
+func (c *CPU) Charge(comp stats.Component, cycles uint64) { c.charge(comp, cycles) }
+
+// TM returns the machine's transactional memory (nil without HTM).
+func (c *CPU) TM() *htm.TM { return c.m.tm }
+
+// liftClockTo raises the clock to at least t; when chargeExcl is set the
+// jump is accounted as exclusive (stop-the-world suspension) time.
+func (c *CPU) liftClockTo(t uint64, chargeExcl bool) {
+	cur := c.clock.Load()
+	if t <= cur {
+		return
+	}
+	if chargeExcl {
+		c.st.Charge(stats.CompExclusive, t-cur)
+	}
+	lift(&c.clock, t)
+}
+
+// --- execution ---
+
+// PC returns the current guest program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Reg returns a guest register value.
+func (c *CPU) Reg(r arch.Reg) uint32 { return c.slots[r] }
+
+// SetReg sets a guest register value (test/litmus setup).
+func (c *CPU) SetReg(r arch.Reg, v uint32) { c.slots[r] = v }
+
+// Flags returns the guest condition flags.
+func (c *CPU) Flags() arch.Flags { return c.flags }
+
+// Halted reports whether the vCPU has stopped.
+func (c *CPU) Halted() bool { return c.haltedFlag.Load() }
+
+// ExitCode returns the value passed to the exit syscall.
+func (c *CPU) ExitCode() uint32 { return c.exitCode }
+
+// Err returns the vCPU's fatal error, if any.
+func (c *CPU) Err() error { return c.err }
+
+// Clock returns the vCPU's virtual time.
+func (c *CPU) Clock() uint64 { return c.clock.Load() }
+
+// VStats returns a copy of the vCPU's counters.
+func (c *CPU) VStats() stats.CPU { return c.st }
+
+// fail records a fatal vCPU error and stops the machine.
+func (c *CPU) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.halted = true
+	c.m.stop(err)
+}
+
+// RunningCPUs implements core.Context.
+func (c *CPU) RunningCPUs() int { return int(c.m.runningCPUs.Load()) }
+
+// finish marks the vCPU stopped and releases joiners.
+func (c *CPU) finish() {
+	if !c.haltedFlag.Load() {
+		c.m.runningCPUs.Add(-1)
+	}
+	c.haltedFlag.Store(true)
+	if c.mon.Txn != nil && !c.mon.Txn.Done() {
+		c.mon.Txn.AbortNow(htm.ReasonSyscall)
+	}
+	if c.done != nil {
+		close(c.done)
+	}
+}
+
+// run is the vCPU main loop (QEMU's cpu_exec).
+func (c *CPU) run() {
+	e := c.m.excl
+	e.execStart(c)
+	defer func() {
+		c.finish()
+		e.execEnd(c)
+	}()
+	nextYield := c.yieldGap()
+	for n := 0; !c.halted; n++ {
+		if c.m.stopped.Load() {
+			break
+		}
+		e.checkpoint(c)
+		c.witnessStalls()
+		c.stepOnce()
+		if n >= nextYield {
+			// On a single-core host, spinning guests starve lock holders
+			// without this; the randomized gap sweeps the deschedule point
+			// across guest loop phases.
+			runtime.Gosched()
+			nextYield = n + c.yieldGap()
+		}
+	}
+}
+
+// maybePreempt yields the host thread at randomized guest memory-op
+// intervals, modelling instruction-granular preemption of translated code.
+func (c *CPU) maybePreempt() {
+	c.preemptLeft--
+	if c.preemptLeft > 0 {
+		return
+	}
+	mean := c.m.cfg.PreemptMemOps
+	if mean <= 0 {
+		c.preemptLeft = 1 << 30
+		return
+	}
+	r := c.yieldRng
+	r ^= r << 13
+	r ^= r >> 17
+	r ^= r << 5
+	c.yieldRng = r
+	c.preemptLeft = 1 + int(r%uint32(2*mean))
+	if !c.m.cfg.StepMode {
+		runtime.Gosched()
+	}
+}
+
+// witnessStalls charges this vCPU for stop-the-world sections other vCPUs
+// ran since it last checked: the suspended-thread half of the exclusive
+// cost model.
+func (c *CPU) witnessStalls() {
+	sec := c.m.exclSections.Load()
+	if sec == c.lastExclSeen {
+		return
+	}
+	delta := sec - c.lastExclSeen
+	c.lastExclSeen = sec
+	c.charge(stats.CompExclusive, delta*c.m.cfg.Cost.ExclusiveStall)
+}
+
+// yieldGap returns the next randomized host-yield distance in blocks,
+// centred on the configured quantum.
+func (c *CPU) yieldGap() int {
+	r := c.yieldRng
+	r ^= r << 13
+	r ^= r >> 17
+	r ^= r << 5
+	c.yieldRng = r
+	q := c.m.cfg.QuantumTBs
+	if q <= 1 {
+		q = 32
+	}
+	return 1 + int(r%uint32(2*q))
+}
+
+// Step executes one translation block in step mode (one guest instruction,
+// since step mode caps blocks at 1). It returns false once the vCPU halted.
+func (c *CPU) Step() (bool, error) {
+	if c.halted {
+		return false, c.err
+	}
+	e := c.m.excl
+	e.execStart(c)
+	c.witnessStalls()
+	c.stepOnce()
+	e.execEnd(c)
+	if c.halted {
+		c.finish()
+	}
+	return !c.halted, c.err
+}
+
+// stepOnce translates (if needed) and executes the block at pc.
+func (c *CPU) stepOnce() {
+	if c.m.cfg.MaxGuestInstrs > 0 && c.st.GuestInstrs > c.m.cfg.MaxGuestInstrs {
+		c.fail(fmt.Errorf("engine: tid %d exceeded %d guest instructions at pc %#08x",
+			c.tid, c.m.cfg.MaxGuestInstrs, c.pc))
+		return
+	}
+	if c.m.tm != nil {
+		// Emulator-interference model (paper §III-B, ref 18): a transaction
+		// still open at a block boundary has emulation work — TB lookups,
+		// chaining updates, shared profiling state — inside it; with more
+		// threads that shared state churns faster. Abort with probability
+		// min(0.95, ((threads-1)/HTMInterference)²). SC-only transactions
+		// (HST-HTM) never reach here and are immune, the paper's point.
+		if txn := c.mon.Txn; txn != nil && !txn.Done() {
+			denom := c.m.cfg.HTMInterference
+			if denom <= 0 {
+				denom = 16
+			}
+			n := uint64(c.m.runningCPUs.Load())
+			if n > 1 {
+				ratio := (n - 1) * 65536 / uint64(denom)
+				p := ratio * ratio / 65536
+				if p > 62259 { // 0.95 in 16-bit fixed point
+					p = 62259
+				}
+				r := c.yieldRng
+				r ^= r << 13
+				r ^= r >> 17
+				r ^= r << 5
+				c.yieldRng = r
+				if uint64(r>>16) < p {
+					txn.AbortNow(htm.ReasonEmulation)
+					c.st.HTMAborts++
+					c.charge(stats.CompHTM, c.m.cfg.Cost.HTMAbort)
+				}
+			}
+		}
+	}
+	if w := c.m.cfg.TraceWriter; w != nil {
+		c.trace(w)
+	}
+	tb, err := c.m.tbFor(c, c.pc)
+	if err != nil {
+		c.fail(fmt.Errorf("engine: tid %d: %w", c.tid, err))
+		return
+	}
+	c.execBlock(tb.block)
+}
+
+// trace logs the instruction about to execute (TraceWriter mode).
+func (c *CPU) trace(w io.Writer) {
+	word, f := c.m.mem.FetchWord(c.pc)
+	if f != nil {
+		return // the fault will be reported by execution
+	}
+	text := fmt.Sprintf(".word %#08x", word)
+	if in, err := arch.Decode(word); err == nil {
+		text = in.String()
+	}
+	c.m.outMu.Lock()
+	fmt.Fprintf(w, "T%d %08x: %-24s r0=%08x r1=%08x sp=%08x\n",
+		c.tid, c.pc, text, c.slots[0], c.slots[1], c.slots[13])
+	c.m.outMu.Unlock()
+}
+
+// execBlock interprets one IR block.
+func (c *CPU) execBlock(b *ir.Block) {
+	if len(c.slots) < b.NumSlots {
+		grown := make([]uint32, b.NumSlots+16)
+		copy(grown, c.slots)
+		c.slots = grown
+	}
+	s := c.slots
+	mem := c.m.mem
+	scheme := c.m.scheme
+	cost := &c.m.cfg.Cost
+	tm := c.m.tm
+	var native uint64
+
+	defer func() {
+		c.st.IROps += uint64(len(b.Ops))
+		c.st.GuestInstrs += uint64(b.GuestLen)
+		c.charge(stats.CompNative, native)
+	}()
+
+	for i := range b.Ops {
+		in := &b.Ops[i]
+		switch in.Op {
+		case ir.Nop:
+
+		case ir.MovI:
+			s[in.D] = in.Imm
+			native += cost.IROp
+		case ir.Mov:
+			s[in.D] = s[in.A]
+			native += cost.IROp
+		case ir.Not:
+			s[in.D] = ^s[in.A]
+			native += cost.IROp
+
+		case ir.Add:
+			s[in.D] = s[in.A] + s[in.B]
+			native += cost.IROp
+		case ir.Sub:
+			s[in.D] = s[in.A] - s[in.B]
+			native += cost.IROp
+		case ir.And:
+			s[in.D] = s[in.A] & s[in.B]
+			native += cost.IROp
+		case ir.Or:
+			s[in.D] = s[in.A] | s[in.B]
+			native += cost.IROp
+		case ir.Xor:
+			s[in.D] = s[in.A] ^ s[in.B]
+			native += cost.IROp
+		case ir.Mul:
+			s[in.D] = s[in.A] * s[in.B]
+			native += cost.IROp
+		case ir.UDiv:
+			if d := s[in.B]; d == 0 {
+				s[in.D] = 0
+			} else {
+				s[in.D] = s[in.A] / d
+			}
+			native += cost.IROp
+		case ir.SDiv:
+			s[in.D] = sdiv32(s[in.A], s[in.B])
+			native += cost.IROp
+		case ir.Shl:
+			s[in.D] = s[in.A] << (s[in.B] & 31)
+			native += cost.IROp
+		case ir.Shr:
+			s[in.D] = s[in.A] >> (s[in.B] & 31)
+			native += cost.IROp
+		case ir.Sar:
+			s[in.D] = uint32(int32(s[in.A]) >> (s[in.B] & 31))
+			native += cost.IROp
+
+		case ir.AddI:
+			s[in.D] = s[in.A] + in.Imm
+			native += cost.IROp
+		case ir.SubI:
+			s[in.D] = s[in.A] - in.Imm
+			native += cost.IROp
+		case ir.RsbI:
+			s[in.D] = in.Imm - s[in.A]
+			native += cost.IROp
+		case ir.AndI:
+			s[in.D] = s[in.A] & in.Imm
+			native += cost.IROp
+		case ir.OrI:
+			s[in.D] = s[in.A] | in.Imm
+			native += cost.IROp
+		case ir.XorI:
+			s[in.D] = s[in.A] ^ in.Imm
+			native += cost.IROp
+		case ir.ShlI:
+			s[in.D] = s[in.A] << (in.Imm & 31)
+			native += cost.IROp
+		case ir.ShrI:
+			s[in.D] = s[in.A] >> (in.Imm & 31)
+			native += cost.IROp
+		case ir.SarI:
+			s[in.D] = uint32(int32(s[in.A]) >> (in.Imm & 31))
+			native += cost.IROp
+
+		case ir.FlagsAdd:
+			s[in.D], c.flags = addFlags(s[in.A], s[in.B])
+			native += cost.IROp
+		case ir.FlagsSub:
+			s[in.D], c.flags = subFlags(s[in.A], s[in.B])
+			native += cost.IROp
+		case ir.FlagsAddI:
+			s[in.D], c.flags = addFlags(s[in.A], in.Imm)
+			native += cost.IROp
+		case ir.FlagsSubI:
+			s[in.D], c.flags = subFlags(s[in.A], in.Imm)
+			native += cost.IROp
+		case ir.FlagsNZ:
+			v := s[in.A]
+			c.flags.N = int32(v) < 0
+			c.flags.Z = v == 0
+			native += cost.IROp
+
+		case ir.Load:
+			c.maybePreempt()
+			v, f := mem.LoadWord(s[in.A] + in.Imm)
+			if f != nil {
+				c.guestFault(f, in)
+				return
+			}
+			s[in.D] = v
+			c.st.Loads++
+			native += cost.MemAccess
+		case ir.LoadB:
+			c.maybePreempt()
+			v, f := mem.LoadByte(s[in.A] + in.Imm)
+			if f != nil {
+				c.guestFault(f, in)
+				return
+			}
+			s[in.D] = uint32(v)
+			c.st.Loads++
+			native += cost.MemAccess
+		case ir.InstrLoad:
+			c.maybePreempt()
+			v, err := scheme.Load(c, s[in.A]+in.Imm)
+			if err != nil {
+				c.schemeFault(err, in)
+				return
+			}
+			s[in.D] = v
+			c.st.Loads++
+			native += cost.MemAccess
+		case ir.InstrLoadB:
+			c.maybePreempt()
+			v, err := scheme.LoadB(c, s[in.A]+in.Imm)
+			if err != nil {
+				c.schemeFault(err, in)
+				return
+			}
+			s[in.D] = uint32(v)
+			c.st.Loads++
+			native += cost.MemAccess
+
+		case ir.Store:
+			c.maybePreempt()
+			addr := s[in.A] + in.Imm
+			if f := mem.StoreWord(addr, s[in.B]); f != nil {
+				c.guestFault(f, in)
+				return
+			}
+			if tm != nil {
+				tm.NotifyStore(addr)
+			}
+			c.st.Stores++
+			native += cost.MemAccess
+		case ir.StoreB:
+			c.maybePreempt()
+			addr := s[in.A] + in.Imm
+			if f := mem.StoreByte(addr, uint8(s[in.B])); f != nil {
+				c.guestFault(f, in)
+				return
+			}
+			if tm != nil {
+				tm.NotifyStore(addr &^ 3)
+			}
+			c.st.Stores++
+			native += cost.MemAccess
+		case ir.InstrStore:
+			c.maybePreempt()
+			if err := scheme.Store(c, s[in.A]+in.Imm, s[in.B]); err != nil {
+				c.schemeFault(err, in)
+				return
+			}
+			c.st.Stores++
+			native += cost.MemAccess
+		case ir.InstrStoreB:
+			c.maybePreempt()
+			if err := scheme.StoreB(c, s[in.A]+in.Imm, uint8(s[in.B])); err != nil {
+				c.schemeFault(err, in)
+				return
+			}
+			c.st.Stores++
+			native += cost.MemAccess
+
+		case ir.LL:
+			c.maybePreempt()
+			v, err := scheme.LL(c, s[in.A])
+			if err != nil {
+				c.schemeFault(err, in)
+				return
+			}
+			s[in.D] = v
+			c.st.LLs++
+			native += cost.MemAccess
+		case ir.SC:
+			c.maybePreempt()
+			status, err := scheme.SC(c, s[in.A], s[in.B])
+			if err != nil {
+				c.schemeFault(err, in)
+				return
+			}
+			s[in.D] = status
+			c.st.SCs++
+			c.st.SCFails += uint64(status)
+			native += cost.MemAccess
+		case ir.AtomicRMW:
+			c.maybePreempt()
+			addr := s[in.A]
+			operand := in.Imm
+			if !in.RMWImm {
+				operand = s[in.B]
+			}
+			// Rule-based fused atomic (paper §VI): one host atomic builtin,
+			// outside the scheme, but still breaking monitors via NoteStore.
+			if sn := c.m.storeNotifier; sn != nil {
+				sn.NoteStore(c, addr)
+			}
+			for {
+				old, f := mem.ReadWordPriv(addr)
+				if f != nil {
+					c.guestFault(f, in)
+					return
+				}
+				ok, f := mem.CASWordPriv(addr, old, in.RMW.Eval(old, operand))
+				if f != nil {
+					c.guestFault(f, in)
+					return
+				}
+				if ok {
+					s[in.D] = old
+					break
+				}
+			}
+			if tm != nil {
+				tm.NotifyStore(addr)
+			}
+			c.st.LLs++
+			c.st.SCs++
+			native += cost.HostAtomic
+		case ir.Clrex:
+			scheme.Clrex(c)
+			native += cost.IROp
+		case ir.Fence:
+			// Go's atomics give sequential consistency; the fence is a
+			// cost-model event only.
+			native += cost.IROp
+
+		case ir.ExitJmp:
+			c.pc = in.Addr
+			return
+		case ir.ExitCond:
+			if c.flags.Test(in.Cond) {
+				c.pc = in.Addr
+			} else {
+				c.pc = in.Addr2
+			}
+			native += cost.IROp
+			return
+		case ir.ExitInd:
+			c.pc = s[in.A]
+			native += cost.IROp
+			return
+		case ir.Syscall:
+			c.pc = in.Addr
+			c.m.syscall(c, in.Imm)
+			return
+		case ir.Halt:
+			c.halted = true
+			return
+		case ir.YieldOp:
+			c.pc = in.Addr
+			runtime.Gosched()
+			return
+
+		default:
+			c.fail(fmt.Errorf("engine: tid %d: unhandled IR op %s at %#08x", c.tid, in.Op, in.GuestPC))
+			return
+		}
+	}
+	// The verifier guarantees a terminator; reaching here is an engine bug.
+	c.fail(fmt.Errorf("engine: block %#08x fell off the end", b.Start))
+}
+
+// guestFault reports an unhandled guest memory fault — the emulated program
+// crashed (e.g. the corrupted lock-free stack dereferencing garbage).
+func (c *CPU) guestFault(f *mmu.Fault, in *ir.Inst) {
+	c.fail(fmt.Errorf("engine: tid %d: guest fault at pc %#08x: %w", c.tid, in.GuestPC, f))
+}
+
+// schemeFault reports an error from the emulation scheme: either a guest
+// fault surfaced through the scheme, or a scheme failure such as PICO-HTM
+// livelock.
+func (c *CPU) schemeFault(err error, in *ir.Inst) {
+	c.fail(fmt.Errorf("engine: tid %d: at pc %#08x: %w", c.tid, in.GuestPC, err))
+}
+
+func sdiv32(a, b uint32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	sa, sb := int32(a), int32(b)
+	if sa == -1<<31 && sb == -1 {
+		return a
+	}
+	return uint32(sa / sb)
+}
+
+func addFlags(a, b uint32) (uint32, arch.Flags) {
+	res := a + b
+	return res, arch.Flags{
+		N: int32(res) < 0,
+		Z: res == 0,
+		C: res < a,
+		V: (^(a^b)&(a^res))>>31 != 0,
+	}
+}
+
+func subFlags(a, b uint32) (uint32, arch.Flags) {
+	res := a - b
+	return res, arch.Flags{
+		N: int32(res) < 0,
+		Z: res == 0,
+		C: a >= b, // no borrow
+		V: ((a^b)&(a^res))>>31 != 0,
+	}
+}

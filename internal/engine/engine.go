@@ -1,0 +1,475 @@
+// Package engine is atomemu's DBT execution engine — the QEMU analogue. It
+// owns the guest address space, the translation-block cache, the vCPU
+// goroutines with their QEMU-style exclusive (stop-the-world) protocol, the
+// guest syscall layer (threads, futexes, barriers, memory), and the
+// virtual-time cost model that stands in for the paper's 52-core testbed
+// (see DESIGN.md §4).
+//
+// The atomic-instruction emulation scheme (internal/core) plugs in at
+// machine construction; the translator consults it for instrumentation
+// decisions, and the interpreter routes LL/SC and instrumented loads/stores
+// through it.
+//
+// Limitation: translation blocks are never invalidated, so self-modifying
+// guest code is unsupported (all guest programs here are static images) —
+// the same simplification QEMU's user mode makes unless mmap tracking
+// forces a flush.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"atomemu/internal/asm"
+	"atomemu/internal/core"
+	"atomemu/internal/htm"
+	"atomemu/internal/ir"
+	"atomemu/internal/mmu"
+	"atomemu/internal/stats"
+	"atomemu/internal/translate"
+)
+
+// Default guest memory layout.
+const (
+	// RuntimeBase holds the engine-provided thread-exit trampoline.
+	RuntimeBase uint32 = 0x0000_1000
+	// DefaultHeapBase is where sys_mmap allocations start.
+	DefaultHeapBase uint32 = 0x2000_0000
+	// StackRegionBase is where per-thread stacks are carved out, growing
+	// upward by thread id, each followed by an unmapped guard page.
+	StackRegionBase uint32 = 0x4000_0000
+)
+
+// Config configures a Machine.
+type Config struct {
+	// Scheme selects the atomic emulation scheme by name (core.SchemeNames).
+	Scheme string
+	// Cost is the virtual-time cost model.
+	Cost core.CostModel
+	// MemBytes bounds guest physical memory.
+	MemBytes uint32
+	// HashBits sizes the HST store-test table (2^bits entries).
+	HashBits uint
+	// HTMBits and HTMCapacity size the software HTM.
+	HTMBits     uint
+	HTMCapacity int
+	// MaxGuestInstrsPerTB caps translation-block length (0 = default).
+	MaxGuestInstrsPerTB int
+	// NoOptimize disables the IR optimizer (for differential testing).
+	NoOptimize bool
+	// StackBytes is the per-thread stack size.
+	StackBytes uint32
+	// MaxThreads bounds guest thread creation.
+	MaxThreads int
+	// QuantumTBs is how many blocks run between host scheduler yields.
+	QuantumTBs int
+	// PreemptMemOps is the mean number of guest memory operations between
+	// randomized mid-block host yields (instruction-granular preemption).
+	// 0 disables mid-block preemption.
+	PreemptMemOps int
+	// FuseAtomics enables rule-based translation (paper §VI): recognized
+	// LL/SC retry loops run as single fused host atomics.
+	FuseAtomics bool
+	// HTMInterference calibrates how violently emulation work interferes
+	// with transactions that span block boundaries (PICO-HTM's LL…SC
+	// windows): at each boundary inside an open transaction the engine
+	// aborts it with probability min(0.95, ((threads-1)/HTMInterference)²),
+	// modelling conflicts on QEMU's shared emulator state [paper §III-B,
+	// ref 18]. SC-only transactions (HST-HTM) never cross a boundary and
+	// are unaffected. 0 means the default (16).
+	HTMInterference int
+	// MaxGuestInstrs aborts a runaway vCPU after this many guest
+	// instructions (0 = unlimited).
+	MaxGuestInstrs uint64
+	// StepMode builds vCPUs for deterministic single-stepping (litmus
+	// tests): no goroutines, one guest instruction per block.
+	StepMode bool
+	// TraceWriter, when set, logs every executed guest instruction
+	// (tid, pc, disassembly). Forces one-instruction blocks; debugging only.
+	TraceWriter io.Writer
+	// ProfileCollisions enables the HST collision census (Table I support).
+	ProfileCollisions bool
+}
+
+// DefaultConfig returns a ready-to-use configuration for the given scheme.
+func DefaultConfig(scheme string) Config {
+	return Config{
+		Scheme:          scheme,
+		Cost:            core.DefaultCostModel(),
+		MemBytes:        64 << 20,
+		HashBits:        14,
+		HTMBits:         16,
+		HTMCapacity:     0,
+		StackBytes:      64 << 10,
+		MaxThreads:      256,
+		QuantumTBs:      32,
+		PreemptMemOps:   600,
+		HTMInterference: 16,
+	}
+}
+
+// Machine is one emulated guest machine.
+type Machine struct {
+	cfg    Config
+	mem    *mmu.Memory
+	scheme core.Scheme
+	tm     *htm.TM
+	excl   *exclusive
+	topts  translate.Options
+
+	// storeNotifier is the scheme's NoteStore hook, when it has one (fused
+	// atomics bypass the scheme but must still break monitors).
+	storeNotifier core.StoreNotifier
+
+	tbMu sync.Mutex
+	tbs  map[uint32]*TB
+
+	cpuMu   sync.Mutex
+	cpus    []*CPU
+	nextTID uint32
+	wg      sync.WaitGroup
+
+	stopped  atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+
+	outMu  sync.Mutex
+	output []uint32
+
+	heapMu   sync.Mutex
+	heapNext uint32
+
+	futexMu sync.Mutex
+	futexes map[uint32]*futexQueue
+
+	barMu    sync.Mutex
+	barriers map[uint32]*guestBarrier
+
+	// exclSections counts stop-the-world sections (real or charged); every
+	// vCPU pays an ExclusiveStall for each section it witnesses.
+	exclSections atomic.Uint64
+	// runningCPUs counts vCPUs not yet halted.
+	runningCPUs atomic.Int32
+}
+
+// TB is a cached translation block.
+type TB struct {
+	block *ir.Block
+}
+
+// NewMachine builds a machine with the configured scheme.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.MemBytes == 0 {
+		def := DefaultConfig(cfg.Scheme)
+		def.StepMode = cfg.StepMode
+		def.ProfileCollisions = cfg.ProfileCollisions
+		if cfg.MaxGuestInstrs != 0 {
+			def.MaxGuestInstrs = cfg.MaxGuestInstrs
+		}
+		cfg = def
+	}
+	m := &Machine{
+		cfg:      cfg,
+		mem:      mmu.New(cfg.MemBytes),
+		excl:     newExclusive(),
+		tbs:      make(map[uint32]*TB),
+		heapNext: DefaultHeapBase,
+		futexes:  make(map[uint32]*futexQueue),
+		barriers: make(map[uint32]*guestBarrier),
+	}
+
+	deps := core.Deps{Cost: &m.cfg.Cost}
+	needsHTM := cfg.Scheme == "pico-htm" || cfg.Scheme == "hst-htm"
+	if needsHTM {
+		tm, err := htm.New(cfg.HTMBits, cfg.HTMCapacity)
+		if err != nil {
+			return nil, err
+		}
+		m.tm = tm
+		deps.TM = tm
+	}
+	switch cfg.Scheme {
+	case "hst", "hst-weak", "hst-htm":
+		tab, err := core.NewHashTable(cfg.HashBits)
+		if err != nil {
+			return nil, err
+		}
+		deps.Htab = tab
+	}
+	var err error
+	if cfg.Scheme == "hst" && cfg.ProfileCollisions {
+		m.scheme = core.NewHSTProfiled(deps.Cost, deps.Htab)
+	} else {
+		m.scheme, err = core.New(cfg.Scheme, deps)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	maxTB := cfg.MaxGuestInstrsPerTB
+	if cfg.StepMode || cfg.TraceWriter != nil {
+		maxTB = 1
+	}
+	m.topts = translate.Options{
+		InstrumentStores: m.scheme.InstrumentsStores(),
+		InstrumentLoads:  m.scheme.InstrumentsLoads(),
+		MaxGuestInstrs:   maxTB,
+		Optimize:         !cfg.NoOptimize,
+		FuseAtomics:      cfg.FuseAtomics,
+	}
+	m.storeNotifier, _ = m.scheme.(core.StoreNotifier)
+
+	// The runtime page: the thread-exit trampoline (svc exit).
+	if err := m.mem.Map(RuntimeBase, mmu.PageSize, mmu.PermRX); err != nil {
+		return nil, err
+	}
+	trap := trampolineWords()
+	for i, w := range trap {
+		if f := m.mem.WriteWordPriv(RuntimeBase+uint32(i)*4, w); f != nil {
+			return nil, f
+		}
+	}
+	return m, nil
+}
+
+// Scheme returns the active emulation scheme.
+func (m *Machine) Scheme() core.Scheme { return m.scheme }
+
+// Mem returns the guest address space (examples and tests use it to seed
+// and inspect guest data).
+func (m *Machine) Mem() *mmu.Memory { return m.mem }
+
+// LoadImage maps and copies an assembled image into guest memory. Image
+// pages are mapped read-write-execute (code and data share pages, as in a
+// flat firmware-style binary).
+func (m *Machine) LoadImage(im *asm.Image) error {
+	base := mmu.PageBase(im.Org)
+	end := im.End()
+	size := (end - base + mmu.PageSize - 1) &^ uint32(mmu.PageMask)
+	if err := m.mem.Map(base, size, mmu.PermRWX); err != nil {
+		return fmt.Errorf("engine: mapping image: %w", err)
+	}
+	for i, w := range im.Words {
+		if f := m.mem.WriteWordPriv(im.Org+uint32(i)*4, w); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// MapRegion maps extra guest memory (workload heaps).
+func (m *Machine) MapRegion(addr, size uint32, perm mmu.Perm) error {
+	return m.mem.Map(addr, size, perm)
+}
+
+// stop records the first fatal error and halts every vCPU.
+func (m *Machine) stop(err error) {
+	m.errMu.Lock()
+	if m.firstErr == nil && err != nil {
+		m.firstErr = err
+	}
+	m.errMu.Unlock()
+	m.stopped.Store(true)
+	// Wake sleepers so they observe the stop.
+	m.futexMu.Lock()
+	for _, q := range m.futexes {
+		q.wakeAll(0)
+	}
+	m.futexMu.Unlock()
+	m.barMu.Lock()
+	for _, b := range m.barriers {
+		b.releaseAll()
+	}
+	m.barMu.Unlock()
+}
+
+// Err returns the first fatal error, if any.
+func (m *Machine) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.firstErr
+}
+
+// Start creates the main vCPU at entry with r0..rN = args and, unless the
+// machine is in step mode, launches it.
+func (m *Machine) Start(entry uint32, args ...uint32) (*CPU, error) {
+	return m.newCPU(entry, 0, args)
+}
+
+// SpawnThread is the host-side thread creation used by tests; guest code
+// uses the spawn syscall.
+func (m *Machine) SpawnThread(entry uint32, args ...uint32) (*CPU, error) {
+	return m.newCPU(entry, 0, args)
+}
+
+func (m *Machine) newCPU(entry uint32, startClock uint64, args []uint32) (*CPU, error) {
+	m.cpuMu.Lock()
+	if len(m.cpus) >= m.cfg.MaxThreads {
+		m.cpuMu.Unlock()
+		return nil, fmt.Errorf("engine: thread limit %d reached", m.cfg.MaxThreads)
+	}
+	m.nextTID++
+	tid := m.nextTID
+	m.cpuMu.Unlock()
+
+	stackTop, err := m.mapStack(tid)
+	if err != nil {
+		return nil, err
+	}
+	c := newCPU(m, tid)
+	c.pc = entry
+	c.clock.Store(startClock)
+	for i, a := range args {
+		if i >= 13 {
+			break
+		}
+		c.slots[i] = a
+	}
+	c.slots[13] = stackTop    // sp
+	c.slots[14] = RuntimeBase // lr: returning from the entry function exits
+	c.done = make(chan struct{})
+
+	m.cpuMu.Lock()
+	m.cpus = append(m.cpus, c)
+	m.cpuMu.Unlock()
+	m.runningCPUs.Add(1)
+
+	if !m.cfg.StepMode {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			c.run()
+		}()
+	}
+	return c, nil
+}
+
+func (m *Machine) mapStack(tid uint32) (uint32, error) {
+	sz := m.cfg.StackBytes
+	if sz == 0 {
+		sz = 64 << 10
+	}
+	stride := sz + mmu.PageSize // guard page between stacks
+	base := StackRegionBase + (tid-1)*stride
+	if err := m.mem.Map(base, sz, mmu.PermRW); err != nil {
+		return 0, fmt.Errorf("engine: mapping stack for tid %d: %w", tid, err)
+	}
+	return base + sz, nil
+}
+
+// Run waits for every vCPU to halt and returns the first fatal error.
+func (m *Machine) Run() error {
+	m.wg.Wait()
+	return m.Err()
+}
+
+// CPUs returns the machine's vCPUs (stable after threads stop spawning).
+func (m *Machine) CPUs() []*CPU {
+	m.cpuMu.Lock()
+	defer m.cpuMu.Unlock()
+	out := make([]*CPU, len(m.cpus))
+	copy(out, m.cpus)
+	return out
+}
+
+// Output returns the values the guest emitted via the write syscall.
+func (m *Machine) Output() []uint32 {
+	m.outMu.Lock()
+	defer m.outMu.Unlock()
+	out := make([]uint32, len(m.output))
+	copy(out, m.output)
+	return out
+}
+
+// VirtualTime returns the machine's execution time in virtual cycles: the
+// maximum over all vCPU clocks.
+func (m *Machine) VirtualTime() uint64 {
+	var maxClk uint64
+	for _, c := range m.CPUs() {
+		if t := c.clock.Load(); t > maxClk {
+			maxClk = t
+		}
+	}
+	return maxClk
+}
+
+// AggregateStats sums all vCPU counters.
+func (m *Machine) AggregateStats() stats.CPU {
+	var agg stats.CPU
+	for _, c := range m.CPUs() {
+		agg.Add(&c.st)
+	}
+	return agg
+}
+
+// chargeExclusiveEntry charges the requester for a stop-the-world section
+// (base + per-running-vCPU park cost) and publishes the section so every
+// other vCPU pays its witness stall.
+func (m *Machine) chargeExclusiveEntry(c *CPU) {
+	n := 0
+	for _, other := range m.CPUs() {
+		if !other.haltedFlag.Load() {
+			n++
+		}
+	}
+	cost := m.cfg.Cost.ExclusiveBase
+	if n > 1 {
+		cost += uint64(n-1) * m.cfg.Cost.ExclusivePerCPU
+	}
+	c.charge(stats.CompExclusive, cost)
+	c.st.ExclSections++
+	// Publish; the requester has already paid, so it skips its own stall.
+	c.lastExclSeen = m.exclSections.Add(1)
+}
+
+// tbFor returns the translation block at pc, translating on a shared-cache
+// miss. Translation inside an open PICO-HTM window aborts the transaction —
+// the paper's "QEMU code becomes part of the transaction" effect.
+func (m *Machine) tbFor(c *CPU, pc uint32) (*TB, error) {
+	if tb := c.localTBs[pc]; tb != nil {
+		c.charge(stats.CompNative, m.cfg.Cost.TBLookup)
+		return tb, nil
+	}
+	m.tbMu.Lock()
+	tb := m.tbs[pc]
+	if tb == nil {
+		if c.mon.Txn != nil && !c.mon.Txn.Done() {
+			c.mon.Txn.AbortNow(htm.ReasonEmulation)
+			c.st.HTMAborts++
+			c.charge(stats.CompHTM, m.cfg.Cost.HTMAbort)
+		}
+		fetch := func(addr uint32) (uint32, error) {
+			w, f := m.mem.FetchWord(addr)
+			if f != nil {
+				return 0, f
+			}
+			return w, nil
+		}
+		block, err := translate.Block(fetch, pc, m.topts)
+		if err != nil {
+			m.tbMu.Unlock()
+			return nil, err
+		}
+		tb = &TB{block: block}
+		m.tbs[pc] = tb
+		c.charge(stats.CompNative, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
+	}
+	m.tbMu.Unlock()
+	c.localTBs[pc] = tb
+	c.charge(stats.CompNative, m.cfg.Cost.TBLookup)
+	return tb, nil
+}
+
+// trampolineWords builds the runtime page: "svc #SysExit" so a thread entry
+// function returning through lr exits cleanly.
+func trampolineWords() []uint32 {
+	return []uint32{
+		svcWord(SysExit),
+	}
+}
+
+// InitBarrier creates a guest barrier at addr for n participants — host-side
+// setup used by harnesses; guest code can also use the barrier_init syscall.
+func (m *Machine) InitBarrier(addr uint32, n int) { m.sysBarrierInit(addr, n) }

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// exclusive implements QEMU's linux-user start_exclusive/end_exclusive
+// protocol: a vCPU wanting exclusivity waits until every other vCPU has
+// parked outside its execution region; vCPUs poll a pending flag between
+// translation blocks and park when an exclusive section is requested.
+//
+// It also anchors the virtual-time model: the requester pays the park cost
+// (base + per-vCPU), and every other vCPU is charged a fixed stall per
+// section it witnesses (Machine.witnessStalls) — so a stop-the-world costs
+// the whole machine O(threads) cycles per section, as on the paper's QEMU,
+// without artificially merging the drifting virtual clocks.
+type exclusive struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending atomic.Int32 // exclusive sections requested or active
+	running int          // vCPUs inside their execution region
+
+	// exclHolder serializes exclusive sections.
+	exclHolder sync.Mutex
+}
+
+func newExclusive() *exclusive {
+	e := &exclusive{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// execStart enters the vCPU execution region, parking while an exclusive
+// section is pending or active.
+func (e *exclusive) execStart(c *CPU) {
+	e.mu.Lock()
+	for e.pending.Load() > 0 {
+		e.cond.Wait()
+	}
+	e.running++
+	e.mu.Unlock()
+}
+
+// execEnd leaves the execution region.
+func (e *exclusive) execEnd(c *CPU) {
+	e.mu.Lock()
+	e.running--
+	if e.running == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// checkpoint parks the vCPU if an exclusive section is pending. Called
+// between translation blocks; the fast path is one atomic load.
+func (e *exclusive) checkpoint(c *CPU) {
+	if e.pending.Load() == 0 {
+		return
+	}
+	e.execEnd(c)
+	e.execStart(c)
+}
+
+// startExclusive stops the world. The caller must currently be inside its
+// execution region; on return it is the only vCPU making progress.
+func (e *exclusive) startExclusive(c *CPU) {
+	e.execEnd(c)
+	e.exclHolder.Lock()
+	e.pending.Add(1)
+	e.mu.Lock()
+	for e.running > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+	// The world is stopped: advance our clock past every vCPU (their
+	// clocks are stable while parked) and charge the suspension cost.
+	c.m.chargeExclusiveEntry(c)
+}
+
+// endExclusive resumes the world and re-enters the execution region.
+func (e *exclusive) endExclusive(c *CPU) {
+	e.pending.Add(-1)
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.exclHolder.Unlock()
+	e.execStart(c)
+}
+
+// lift raises an atomic clock to at least v.
+func lift(a *atomic.Uint64, v uint64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}

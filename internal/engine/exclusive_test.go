@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"atomemu/internal/stats"
+)
+
+// TestExclusiveMutualExclusion drives the raw protocol from host-side
+// goroutines: sections must never overlap, and parked vCPUs must wait.
+func TestExclusiveMutualExclusion(t *testing.T) {
+	cfg := DefaultConfig("pico-cas")
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	const sections = 200
+	cpus := make([]*CPU, workers)
+	for i := range cpus {
+		cpus[i] = newCPU(m, uint32(i+1))
+	}
+	var inSection atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for _, c := range cpus {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			e := m.excl
+			e.execStart(c)
+			for s := 0; s < sections; s++ {
+				e.checkpoint(c)
+				e.startExclusive(c)
+				if inSection.Add(1) != 1 {
+					violations.Add(1)
+				}
+				inSection.Add(-1)
+				e.endExclusive(c)
+			}
+			e.execEnd(c)
+		}(c)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d overlapping exclusive sections", violations.Load())
+	}
+}
+
+// TestExclusiveCostAccounting: a requester pays base + per-cpu, and other
+// vCPUs pay witness stalls.
+func TestExclusiveCostAccounting(t *testing.T) {
+	cfg := DefaultConfig("pico-cas")
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newCPU(m, 1)
+	b := newCPU(m, 2)
+	m.cpuMu.Lock()
+	m.cpus = append(m.cpus, a, b)
+	m.cpuMu.Unlock()
+	m.runningCPUs.Store(2)
+
+	e := m.excl
+	e.execStart(a)
+	e.startExclusive(a)
+	e.endExclusive(a)
+	e.execEnd(a)
+
+	wantReq := cfg.Cost.ExclusiveBase + cfg.Cost.ExclusivePerCPU
+	if got := a.st.Cycles[stats.CompExclusive]; got != wantReq {
+		t.Errorf("requester exclusive cycles = %d, want %d", got, wantReq)
+	}
+	if a.st.ExclSections != 1 {
+		t.Errorf("requester sections = %d", a.st.ExclSections)
+	}
+	// b witnesses the section at its next checkpoint.
+	b.witnessStalls()
+	if got := b.st.Cycles[stats.CompExclusive]; got != cfg.Cost.ExclusiveStall {
+		t.Errorf("witness stall = %d, want %d", got, cfg.Cost.ExclusiveStall)
+	}
+	// A second check without new sections charges nothing more.
+	b.witnessStalls()
+	if got := b.st.Cycles[stats.CompExclusive]; got != cfg.Cost.ExclusiveStall {
+		t.Errorf("double-charged witness: %d", got)
+	}
+}
+
+// TestChargeExclusiveWithoutStopping (the PST path) publishes a section for
+// witnesses but never blocks anyone.
+func TestChargeExclusiveWithoutStopping(t *testing.T) {
+	cfg := DefaultConfig("pst")
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newCPU(m, 1)
+	b := newCPU(m, 2)
+	m.cpuMu.Lock()
+	m.cpus = append(m.cpus, a, b)
+	m.cpuMu.Unlock()
+	m.runningCPUs.Store(2)
+
+	a.ChargeExclusive()
+	if a.st.ExclSections != 1 {
+		t.Error("section not recorded")
+	}
+	b.witnessStalls()
+	if b.st.Cycles[stats.CompExclusive] == 0 {
+		t.Error("witness not charged for a charged-only section")
+	}
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"atomemu/internal/mmu"
+)
+
+const fusedCounterSrc = `
+.org 0x10000
+.entry worker
+worker:                 ; r0 = iterations
+    ldr r4, =counter
+loop:
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne loop
+    subsi r0, r0, #1
+    bne loop
+    movi r0, #0
+    svc #1
+.align 1024
+counter: .word 0
+`
+
+// TestFusedCounterAllSchemes: with rule-based fusion on, the canonical
+// atomic-increment loop must stay correct under concurrency for every
+// scheme (fused RMWs bypass the scheme but notify it).
+func TestFusedCounterAllSchemes(t *testing.T) {
+	const threads, iters = 6, 2000
+	for _, scheme := range []string{"pico-cas", "pico-st", "pico-htm", "hst", "hst-weak", "hst-htm", "pst", "pst-remap", "pst-mpk"} {
+		t.Run(scheme, func(t *testing.T) {
+			im := buildImage(t, fusedCounterSrc)
+			cfg := DefaultConfig(scheme)
+			cfg.FuseAtomics = true
+			cfg.MaxGuestInstrs = 100_000_000
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadImage(im); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < threads; i++ {
+				if _, err := m.SpawnThread(im.Entry, iters); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			v, _ := m.Mem().ReadWordPriv(im.MustSymbol("counter"))
+			if v != threads*iters {
+				t.Fatalf("fused counter = %d, want %d", v, threads*iters)
+			}
+			// The loop really was fused: SC failures are impossible for a
+			// host atomic RMW.
+			agg := m.AggregateStats()
+			if agg.SCFails != 0 {
+				t.Errorf("fused RMW reported %d SC failures", agg.SCFails)
+			}
+		})
+	}
+}
+
+// TestFusedAndRawMixOnSameVariable: thread A uses the fused increment while
+// thread B hammers the same word with a raw (unfusable) LL/SC increment.
+// NoteStore must keep B's monitors honest: the total must be exact.
+func TestFusedAndRawMixOnSameVariable(t *testing.T) {
+	// The raw loop inserts a nop between ldrex and the add so the fusion
+	// pattern does not match, keeping it on the scheme path.
+	src := `
+.org 0x10000
+.entry fusedworker
+fusedworker:            ; r0 = iterations
+    ldr r4, =counter
+floop:
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne floop
+    subsi r0, r0, #1
+    bne floop
+    movi r0, #0
+    svc #1
+rawworker:              ; r0 = iterations
+    ldr r4, =counter
+rloop:
+    ldrex r1, [r4]
+    nop
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne rloop
+    subsi r0, r0, #1
+    bne rloop
+    movi r0, #0
+    svc #1
+.align 1024
+counter: .word 0
+`
+	const iters = 3000
+	for _, scheme := range []string{"hst", "pico-st", "pst", "hst-htm", "pst-mpk"} {
+		t.Run(scheme, func(t *testing.T) {
+			im := buildImage(t, src)
+			cfg := DefaultConfig(scheme)
+			cfg.FuseAtomics = true
+			cfg.MaxGuestInstrs = 200_000_000
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadImage(im); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := m.SpawnThread(im.MustSymbol("fusedworker"), iters); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.SpawnThread(im.MustSymbol("rawworker"), iters); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			v, _ := m.Mem().ReadWordPriv(im.MustSymbol("counter"))
+			if v != 4*iters {
+				t.Fatalf("mixed counter = %d, want %d — fused RMW broke scheme monitors", v, 4*iters)
+			}
+		})
+	}
+}
+
+// TestDifferentialFusionPreservesSemantics: random single-threaded programs
+// must behave identically with fusion on and off.
+func TestDifferentialFusionPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for round := 0; round < 10; round++ {
+		im, err := genProgram(r, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := runDifferential(t, im, "hst", false)
+
+		cfg := DefaultConfig("hst")
+		cfg.FuseAtomics = true
+		cfg.MaxGuestInstrs = 10_000_000
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadImage(im); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.MapRegion(scratchBase, 4096, mmu.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Start(im.Entry); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		fused := archResult{output: m.Output(), mem: make([]uint32, 1024)}
+		for i := range fused.mem {
+			v, _ := m.Mem().ReadWordPriv(scratchBase + uint32(i)*4)
+			fused.mem[i] = v
+		}
+		diffResults(t, "fusion", plain, fused)
+	}
+}
+
+// TestFusionReducesVirtualTime: the point of rule-based translation is
+// cheaper atomics. On an atomic-heavy workload HST+fusion must beat plain
+// HST in virtual time.
+func TestFusionReducesVirtualTime(t *testing.T) {
+	run := func(fuse bool) uint64 {
+		im := buildImage(t, fusedCounterSrc)
+		cfg := DefaultConfig("hst")
+		cfg.FuseAtomics = fuse
+		cfg.MaxGuestInstrs = 100_000_000
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadImage(im); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := m.SpawnThread(im.Entry, 3000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.VirtualTime()
+	}
+	plain, fused := run(false), run(true)
+	if fused >= plain {
+		t.Fatalf("fusion did not pay: fused=%d plain=%d", fused, plain)
+	}
+	t.Logf("fusion speedup on atomic counter: %.2fx", float64(plain)/float64(fused))
+}

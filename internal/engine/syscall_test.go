@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFutexWakeCountsAndValueMismatch(t *testing.T) {
+	// Three sleepers on one futex; main wakes 2, then 1.
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    ldr r5, =sleeper
+    mov r0, r5
+    movi r1, #0
+    svc #3          ; spawn 3 sleepers
+    mov r0, r5
+    svc #3
+    mov r0, r5
+    svc #3
+    ; give them time to sleep: spin on the sleeping counter
+waitloop:
+    ldr r2, =slept
+    ldr r1, [r2]
+    cmpi r1, #3
+    blt waitloop
+    ; wake 2
+    ldr r0, =cell
+    movi r1, #2
+    svc #8
+    svc #6          ; print woken count (2)
+    ldr r0, =cell
+    movi r1, #5
+    svc #8
+    svc #6          ; print woken count (1)
+    ; futex_wait with mismatched value returns immediately with 1
+    ldr r0, =cell
+    movi r1, #123
+    svc #7
+    svc #6          ; print 1
+    svc #1
+sleeper:
+    ldr r4, =slept
+sret:
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne sret
+    ldr r0, =cell
+    movi r1, #0
+    svc #7          ; futex_wait(cell, 0)
+    movi r0, #0
+    svc #1
+.align 4
+cell: .word 0
+slept: .word 0
+`)
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	if len(out) != 3 || out[0] != 2 || out[1] != 1 || out[2] != 1 {
+		t.Fatalf("output = %v, want [2 1 1]", out)
+	}
+}
+
+func TestJoinInvalidTID(t *testing.T) {
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    movw r0, #999
+    svc #4          ; join(999) -> 1
+    svc #6
+    svc #1
+`)
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Output(); len(out) != 1 || out[0] != 1 {
+		t.Fatalf("output = %v, want [1]", out)
+	}
+}
+
+func TestJoinSelfReturnsError(t *testing.T) {
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    svc #5          ; tid
+    svc #4          ; join(self) -> 1, must not deadlock
+    svc #6
+    svc #1
+`)
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Output(); len(out) != 1 || out[0] != 1 {
+		t.Fatalf("output = %v, want [1]", out)
+	}
+}
+
+func TestUnknownSyscallFails(t *testing.T) {
+	im := buildImage(t, ".org 0x10000\n.entry main\nmain:\n svc #99\n svc #1\n")
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "unknown syscall") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpawnLimit(t *testing.T) {
+	cfg := DefaultConfig("pico-cas")
+	cfg.MaxThreads = 3
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    ldr r5, =idle
+    mov r0, r5
+    movi r1, #0
+    svc #3
+    svc #6          ; tid 2
+    mov r0, r5
+    svc #3
+    svc #6          ; tid 3
+    mov r0, r5
+    svc #3
+    svc #6          ; limit: 0xffffffff
+    svc #1
+idle:
+    movi r0, #0
+    svc #1
+`)
+	if err := m.LoadImage(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	if len(out) != 3 || out[0] != 2 || out[1] != 3 || out[2] != ^uint32(0) {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestMmapExhaustionReturnsZero(t *testing.T) {
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    ; ask for far more than the heap region can hold
+    movw r0, #0xffff
+    movt r0, #0x1fff
+    svc #11
+    svc #6          ; 0
+    movi r0, #0
+    svc #11         ; zero-size mmap also returns 0
+    svc #6
+    svc #1
+`)
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Output()
+	if len(out) != 2 || out[0] != 0 || out[1] != 0 {
+		t.Fatalf("output = %v, want [0 0]", out)
+	}
+}
+
+func TestClockSyscallMonotonic(t *testing.T) {
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    svc #12
+    mov r5, r0
+    movi r1, #100
+spin:
+    subsi r1, r1, #1
+    bne spin
+    svc #12
+    sub r0, r0, r5  ; elapsed > 0
+    cmpi r0, #0
+    bgt good
+    movi r0, #0
+    svc #6
+    svc #1
+good:
+    movi r0, #1
+    svc #6
+    svc #1
+`)
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Output(); len(out) != 1 || out[0] != 1 {
+		t.Fatalf("clock not monotonic: %v", out)
+	}
+}
+
+func TestBarrierUninitializedFails(t *testing.T) {
+	im := buildImage(t, ".org 0x10000\n.entry main\nmain:\n movw r0, #0x5000\n svc #10\n svc #1\n")
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "barrier") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGuestBarrierInitSyscall(t *testing.T) {
+	// barrier_init from guest code rather than the host helper.
+	im := buildImage(t, `
+.org 0x10000
+.entry main
+main:
+    ldr r0, =barcell
+    movi r1, #2
+    svc #9          ; barrier_init(barcell, 2)
+    ldr r5, =waiter
+    mov r0, r5
+    movi r1, #0
+    svc #3
+    ldr r0, =barcell
+    svc #10
+    svc #6          ; either 0 or 1 (last arriver)
+    svc #1
+waiter:
+    ldr r0, =barcell
+    svc #10
+    movi r0, #0
+    svc #1
+.align 4
+barcell: .word 0
+`)
+	m := newTestMachine(t, "pico-cas", im)
+	if _, err := m.Start(im.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Output(); len(out) != 1 || out[0] > 1 {
+		t.Fatalf("output = %v", out)
+	}
+}

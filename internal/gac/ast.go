@@ -1,0 +1,126 @@
+package gac
+
+// The GAC abstract syntax tree. Every value is a 32-bit word.
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	// size is the word count: 1 for scalars, n for "var a[n]".
+	size uint32
+	// init is the scalar initializer (constant only).
+	init uint32
+	line int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// --- statements ---
+
+type stmt interface{ stmtLine() int }
+
+type blockStmt struct {
+	stmts []stmt
+	line  int
+}
+
+type varStmt struct {
+	name string
+	init expr // nil means zero
+	line int
+}
+
+type ifStmt struct {
+	cond       expr
+	then, els_ stmt // els_ may be nil
+	line       int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+	line int
+}
+
+type returnStmt struct {
+	val  expr // nil means return 0
+	line int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+// assignStmt is "lhs = rhs" where lhs is a local, global, *expr or g[i].
+type assignStmt struct {
+	lhs  expr
+	rhs  expr
+	line int
+}
+
+func (s *blockStmt) stmtLine() int    { return s.line }
+func (s *varStmt) stmtLine() int      { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *assignStmt) stmtLine() int   { return s.line }
+
+// --- expressions ---
+
+type expr interface{ exprLine() int }
+
+type numExpr struct {
+	val  uint32
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "!", "~", "*", "&"
+	x    expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type indexExpr struct {
+	base expr // must be an addressable global (array)
+	idx  expr
+	line int
+}
+
+func (e *numExpr) exprLine() int   { return e.line }
+func (e *identExpr) exprLine() int { return e.line }
+func (e *unaryExpr) exprLine() int { return e.line }
+func (e *binExpr) exprLine() int   { return e.line }
+func (e *callExpr) exprLine() int  { return e.line }
+func (e *indexExpr) exprLine() int { return e.line }

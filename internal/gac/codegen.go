@@ -1,0 +1,732 @@
+package gac
+
+import (
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+	"atomemu/internal/mmu"
+)
+
+// Code generator. Conventions:
+//
+//   - r0..r3: arguments, return value, expression scratch
+//   - r11:    frame pointer (locals at [r11 + 4*slot])
+//   - r12:    extra scratch for atomic builtins
+//   - sp:     expression temporaries are pushed/popped around binary ops
+//
+// Each function is emitted as "fn_<name>"; globals live on their own page
+// after the code so PST-family schemes see realistic data placement.
+
+type gen struct {
+	b       *asm.Builder
+	globals map[string]*globalDecl
+	funcs   map[string]*funcDecl
+
+	// per-function state
+	locals   map[string]int
+	epilogue string
+	breaks   []string
+	conts    []string
+}
+
+const fp = arch.R11
+
+func generate(prog *program, org uint32) (*asm.Image, error) {
+	g := &gen{
+		b:       asm.NewBuilder(org),
+		globals: make(map[string]*globalDecl),
+		funcs:   make(map[string]*funcDecl),
+	}
+	for _, gd := range prog.globals {
+		if g.globals[gd.name] != nil {
+			return nil, errf(gd.line, "duplicate global %q", gd.name)
+		}
+		g.globals[gd.name] = gd
+	}
+	var main *funcDecl
+	for _, f := range prog.funcs {
+		if g.funcs[f.name] != nil {
+			return nil, errf(f.line, "duplicate function %q", f.name)
+		}
+		if g.globals[f.name] != nil {
+			return nil, errf(f.line, "%q is both a global and a function", f.name)
+		}
+		g.funcs[f.name] = f
+		if f.name == "main" {
+			main = f
+		}
+	}
+	if main == nil {
+		return nil, errf(1, "no main function")
+	}
+	for _, f := range prog.funcs {
+		if err := g.function(f); err != nil {
+			return nil, err
+		}
+	}
+	// Data page.
+	g.b.AlignWords(mmu.PageWords)
+	for _, gd := range prog.globals {
+		g.b.Label("g_" + gd.name)
+		if gd.size == 1 {
+			g.b.Word(gd.init)
+		} else {
+			g.b.Space(int(gd.size))
+		}
+	}
+	im, err := g.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	im.Entry = im.MustSymbol("fn_main")
+	return im, nil
+}
+
+// countLocals pre-scans a function body for var declarations.
+func countLocals(s stmt, names map[string]int) error {
+	switch n := s.(type) {
+	case *blockStmt:
+		for _, c := range n.stmts {
+			if err := countLocals(c, names); err != nil {
+				return err
+			}
+		}
+	case *varStmt:
+		if _, dup := names[n.name]; dup {
+			return errf(n.line, "duplicate local %q", n.name)
+		}
+		names[n.name] = len(names)
+	case *ifStmt:
+		if err := countLocals(n.then, names); err != nil {
+			return err
+		}
+		if n.els_ != nil {
+			return countLocals(n.els_, names)
+		}
+	case *whileStmt:
+		return countLocals(n.body, names)
+	}
+	return nil
+}
+
+func (g *gen) function(f *funcDecl) error {
+	g.locals = make(map[string]int)
+	for _, p := range f.params {
+		if _, dup := g.locals[p]; dup {
+			return errf(f.line, "duplicate parameter %q", p)
+		}
+		g.locals[p] = len(g.locals)
+	}
+	if err := countLocals(f.body, g.locals); err != nil {
+		return err
+	}
+	n := len(g.locals)
+	if n > 512 {
+		return errf(f.line, "function %s: too many locals (%d)", f.name, n)
+	}
+	frame := int32(n * 4)
+	g.epilogue = g.b.Gensym("ret_" + f.name)
+	g.breaks, g.conts = nil, nil
+
+	g.b.Label("fn_" + f.name)
+	g.b.Push(fp, arch.LR)
+	if frame > 0 {
+		g.b.SubI(arch.SP, arch.SP, frame)
+	}
+	g.b.Mov(fp, arch.SP)
+	for i := range f.params {
+		g.b.Str(arch.Reg(i), fp, int32(g.locals[f.params[i]])*4)
+	}
+	if err := g.stmt(f.body); err != nil {
+		return err
+	}
+	// Implicit "return 0" at the end.
+	g.b.MovI(arch.R0, 0)
+	g.b.Label(g.epilogue)
+	g.b.Mov(arch.SP, fp)
+	if frame > 0 {
+		g.b.AddI(arch.SP, arch.SP, frame)
+	}
+	g.b.Pop(fp, arch.LR)
+	g.b.Ret()
+	return nil
+}
+
+// --- statements ---
+
+func (g *gen) stmt(s stmt) error {
+	switch n := s.(type) {
+	case *blockStmt:
+		for _, c := range n.stmts {
+			if err := g.stmt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *varStmt:
+		slot := g.locals[n.name]
+		if n.init != nil {
+			if err := g.expr(n.init); err != nil {
+				return err
+			}
+		} else {
+			g.b.MovI(arch.R0, 0)
+		}
+		g.b.Str(arch.R0, fp, int32(slot)*4)
+		return nil
+	case *assignStmt:
+		return g.assign(n)
+	case *exprStmt:
+		return g.expr(n.e)
+	case *returnStmt:
+		if n.val != nil {
+			if err := g.expr(n.val); err != nil {
+				return err
+			}
+		} else {
+			g.b.MovI(arch.R0, 0)
+		}
+		g.b.B(g.epilogue)
+		return nil
+	case *ifStmt:
+		elseL := g.b.Gensym("else")
+		doneL := g.b.Gensym("endif")
+		if err := g.expr(n.cond); err != nil {
+			return err
+		}
+		g.b.CmpI(arch.R0, 0)
+		g.b.Beq(elseL)
+		if err := g.stmt(n.then); err != nil {
+			return err
+		}
+		g.b.B(doneL)
+		g.b.Label(elseL)
+		if n.els_ != nil {
+			if err := g.stmt(n.els_); err != nil {
+				return err
+			}
+		}
+		g.b.Label(doneL)
+		return nil
+	case *whileStmt:
+		top := g.b.Gensym("while")
+		done := g.b.Gensym("wend")
+		g.breaks = append(g.breaks, done)
+		g.conts = append(g.conts, top)
+		g.b.Label(top)
+		if err := g.expr(n.cond); err != nil {
+			return err
+		}
+		g.b.CmpI(arch.R0, 0)
+		g.b.Beq(done)
+		if err := g.stmt(n.body); err != nil {
+			return err
+		}
+		g.b.B(top)
+		g.b.Label(done)
+		g.breaks = g.breaks[:len(g.breaks)-1]
+		g.conts = g.conts[:len(g.conts)-1]
+		return nil
+	case *breakStmt:
+		if len(g.breaks) == 0 {
+			return errf(n.line, "break outside loop")
+		}
+		g.b.B(g.breaks[len(g.breaks)-1])
+		return nil
+	case *continueStmt:
+		if len(g.conts) == 0 {
+			return errf(n.line, "continue outside loop")
+		}
+		g.b.B(g.conts[len(g.conts)-1])
+		return nil
+	}
+	return errf(s.stmtLine(), "unhandled statement")
+}
+
+func (g *gen) assign(n *assignStmt) error {
+	switch lhs := n.lhs.(type) {
+	case *identExpr:
+		if slot, ok := g.locals[lhs.name]; ok {
+			if err := g.expr(n.rhs); err != nil {
+				return err
+			}
+			g.b.Str(arch.R0, fp, int32(slot)*4)
+			return nil
+		}
+		if gd := g.globals[lhs.name]; gd != nil {
+			if err := g.expr(n.rhs); err != nil {
+				return err
+			}
+			g.b.LoadAddr(arch.R1, "g_"+lhs.name)
+			g.b.Str(arch.R0, arch.R1, 0)
+			return nil
+		}
+		return errf(lhs.line, "assignment to undefined name %q", lhs.name)
+	case *unaryExpr:
+		if lhs.op != "*" {
+			return errf(lhs.line, "cannot assign to unary %q expression", lhs.op)
+		}
+		if err := g.expr(n.rhs); err != nil {
+			return err
+		}
+		g.push(arch.R0)
+		if err := g.expr(lhs.x); err != nil {
+			return err
+		}
+		g.b.Mov(arch.R1, arch.R0)
+		g.pop(arch.R0)
+		g.b.Str(arch.R0, arch.R1, 0)
+		return nil
+	case *indexExpr:
+		if err := g.expr(n.rhs); err != nil {
+			return err
+		}
+		g.push(arch.R0)
+		if err := g.addrOf(lhs); err != nil {
+			return err
+		}
+		g.b.Mov(arch.R1, arch.R0)
+		g.pop(arch.R0)
+		g.b.Str(arch.R0, arch.R1, 0)
+		return nil
+	}
+	return errf(n.line, "invalid assignment target")
+}
+
+// --- expressions: result in r0 ---
+
+func (g *gen) push(r arch.Reg) {
+	g.b.SubI(arch.SP, arch.SP, 4)
+	g.b.Str(r, arch.SP, 0)
+}
+
+func (g *gen) pop(r arch.Reg) {
+	g.b.Ldr(r, arch.SP, 0)
+	g.b.AddI(arch.SP, arch.SP, 4)
+}
+
+func (g *gen) expr(e expr) error {
+	switch n := e.(type) {
+	case *numExpr:
+		g.b.MovImm32(arch.R0, n.val)
+		return nil
+	case *identExpr:
+		if slot, ok := g.locals[n.name]; ok {
+			g.b.Ldr(arch.R0, fp, int32(slot)*4)
+			return nil
+		}
+		if g.globals[n.name] != nil {
+			g.b.LoadAddr(arch.R0, "g_"+n.name)
+			g.b.Ldr(arch.R0, arch.R0, 0)
+			return nil
+		}
+		return errf(n.line, "undefined name %q", n.name)
+	case *unaryExpr:
+		switch n.op {
+		case "-":
+			if err := g.expr(n.x); err != nil {
+				return err
+			}
+			g.b.RsbI(arch.R0, arch.R0, 0)
+			return nil
+		case "~":
+			if err := g.expr(n.x); err != nil {
+				return err
+			}
+			g.b.Mvn(arch.R0, arch.R0)
+			return nil
+		case "!":
+			if err := g.expr(n.x); err != nil {
+				return err
+			}
+			g.b.CmpI(arch.R0, 0)
+			g.b.MovI(arch.R0, 1)
+			done := g.b.Gensym("not")
+			g.b.Beq(done)
+			g.b.MovI(arch.R0, 0)
+			g.b.Label(done)
+			return nil
+		case "*":
+			if err := g.expr(n.x); err != nil {
+				return err
+			}
+			g.b.Ldr(arch.R0, arch.R0, 0)
+			return nil
+		case "&":
+			return g.addrOf(n.x)
+		}
+		return errf(n.line, "unhandled unary %q", n.op)
+	case *binExpr:
+		return g.binary(n)
+	case *indexExpr:
+		if err := g.addrOf(n); err != nil {
+			return err
+		}
+		g.b.Ldr(arch.R0, arch.R0, 0)
+		return nil
+	case *callExpr:
+		return g.call(n)
+	}
+	return errf(e.exprLine(), "unhandled expression")
+}
+
+// addrOf leaves an lvalue's address in r0.
+func (g *gen) addrOf(e expr) error {
+	switch n := e.(type) {
+	case *identExpr:
+		if g.globals[n.name] != nil {
+			g.b.LoadAddr(arch.R0, "g_"+n.name)
+			return nil
+		}
+		if _, isLocal := g.locals[n.name]; isLocal {
+			return errf(n.line, "cannot take the address of local %q (locals live in the frame; use a global)", n.name)
+		}
+		return errf(n.line, "undefined name %q", n.name)
+	case *indexExpr:
+		base, ok := n.base.(*identExpr)
+		if !ok || g.globals[base.name] == nil {
+			return errf(n.line, "indexing requires a global array")
+		}
+		if err := g.expr(n.idx); err != nil {
+			return err
+		}
+		g.b.LslI(arch.R0, arch.R0, 2)
+		g.push(arch.R0)
+		g.b.LoadAddr(arch.R0, "g_"+base.name)
+		g.pop(arch.R1)
+		g.b.Add(arch.R0, arch.R0, arch.R1)
+		return nil
+	case *unaryExpr:
+		if n.op == "*" {
+			return g.expr(n.x)
+		}
+	}
+	return errf(e.exprLine(), "expression is not addressable")
+}
+
+var cmpConds = map[string]arch.Cond{
+	"==": arch.EQ, "!=": arch.NE, "<": arch.LT, "<=": arch.LE,
+	">": arch.GT, ">=": arch.GE,
+}
+
+func (g *gen) binary(n *binExpr) error {
+	// Short-circuit forms first.
+	if n.op == "&&" || n.op == "||" {
+		out := g.b.Gensym("sc_out")
+		short := g.b.Gensym("sc_short")
+		if err := g.expr(n.l); err != nil {
+			return err
+		}
+		g.b.CmpI(arch.R0, 0)
+		if n.op == "&&" {
+			g.b.Beq(short)
+		} else {
+			g.b.Bne(short)
+		}
+		if err := g.expr(n.r); err != nil {
+			return err
+		}
+		g.b.CmpI(arch.R0, 0)
+		if n.op == "&&" {
+			g.b.Beq(short)
+		} else {
+			g.b.Bne(short)
+		}
+		if n.op == "&&" {
+			g.b.MovI(arch.R0, 1)
+		} else {
+			g.b.MovI(arch.R0, 0)
+		}
+		g.b.B(out)
+		g.b.Label(short)
+		if n.op == "&&" {
+			g.b.MovI(arch.R0, 0)
+		} else {
+			g.b.MovI(arch.R0, 1)
+		}
+		g.b.Label(out)
+		return nil
+	}
+
+	if err := g.expr(n.l); err != nil {
+		return err
+	}
+	g.push(arch.R0)
+	if err := g.expr(n.r); err != nil {
+		return err
+	}
+	g.b.Mov(arch.R1, arch.R0)
+	g.pop(arch.R0)
+
+	switch n.op {
+	case "+":
+		g.b.Add(arch.R0, arch.R0, arch.R1)
+	case "-":
+		g.b.Sub(arch.R0, arch.R0, arch.R1)
+	case "*":
+		g.b.Mul(arch.R0, arch.R0, arch.R1)
+	case "/":
+		g.b.Sdiv(arch.R0, arch.R0, arch.R1)
+	case "%":
+		g.b.Sdiv(arch.R2, arch.R0, arch.R1)
+		g.b.Mul(arch.R2, arch.R2, arch.R1)
+		g.b.Sub(arch.R0, arch.R0, arch.R2)
+	case "&":
+		g.b.And(arch.R0, arch.R0, arch.R1)
+	case "|":
+		g.b.Orr(arch.R0, arch.R0, arch.R1)
+	case "^":
+		g.b.Eor(arch.R0, arch.R0, arch.R1)
+	case "<<":
+		g.b.Lsl(arch.R0, arch.R0, arch.R1)
+	case ">>":
+		g.b.Lsr(arch.R0, arch.R0, arch.R1)
+	default:
+		cond, ok := cmpConds[n.op]
+		if !ok {
+			return errf(n.line, "unhandled operator %q", n.op)
+		}
+		g.b.Cmp(arch.R0, arch.R1)
+		g.b.MovI(arch.R0, 1)
+		done := g.b.Gensym("cmp")
+		g.b.BCond(cond, done)
+		g.b.MovI(arch.R0, 0)
+		g.b.Label(done)
+	}
+	return nil
+}
+
+// call dispatches builtins and user functions.
+func (g *gen) call(n *callExpr) error {
+	if emit, ok := builtins[n.name]; ok {
+		return emit(g, n)
+	}
+	f := g.funcs[n.name]
+	if f == nil {
+		return errf(n.line, "call to undefined function %q", n.name)
+	}
+	if len(n.args) != len(f.params) {
+		return errf(n.line, "%s takes %d argument(s), got %d", n.name, len(f.params), len(n.args))
+	}
+	for _, a := range n.args {
+		if err := g.expr(a); err != nil {
+			return err
+		}
+		g.push(arch.R0)
+	}
+	for i := len(n.args) - 1; i >= 0; i-- {
+		g.pop(arch.Reg(i))
+	}
+	g.b.BL("fn_" + n.name)
+	return nil
+}
+
+// argRegs evaluates call arguments into r0..rN-1 via the stack.
+func (g *gen) argRegs(n *callExpr, want int) error {
+	if len(n.args) != want {
+		return errf(n.line, "%s takes %d argument(s), got %d", n.name, want, len(n.args))
+	}
+	for _, a := range n.args {
+		if err := g.expr(a); err != nil {
+			return err
+		}
+		g.push(arch.R0)
+	}
+	for i := want - 1; i >= 0; i-- {
+		g.pop(arch.Reg(i))
+	}
+	return nil
+}
+
+var builtins map[string]func(*gen, *callExpr) error
+
+// init breaks the builtins/expr initialization cycle.
+func init() {
+	builtins = map[string]func(*gen, *callExpr) error{
+		"print": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 1); err != nil {
+				return err
+			}
+			g.b.Svc(6)
+			return nil
+		},
+		"exit": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 1); err != nil {
+				return err
+			}
+			g.b.Svc(1)
+			return nil
+		},
+		"spawn": func(g *gen, n *callExpr) error {
+			if len(n.args) != 2 {
+				return errf(n.line, "spawn takes (func, arg)")
+			}
+			fn, ok := n.args[0].(*identExpr)
+			if !ok || g.funcs[fn.name] == nil {
+				return errf(n.line, "spawn's first argument must name a function")
+			}
+			if len(g.funcs[fn.name].params) > 1 {
+				return errf(n.line, "spawned function %q may take at most one parameter", fn.name)
+			}
+			if err := g.expr(n.args[1]); err != nil {
+				return err
+			}
+			g.b.Mov(arch.R1, arch.R0)
+			g.b.LoadAddr(arch.R0, "fn_"+fn.name)
+			g.b.Svc(3)
+			return nil
+		},
+		"join": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 1); err != nil {
+				return err
+			}
+			g.b.Svc(4)
+			return nil
+		},
+		"tid": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 0); err != nil {
+				return err
+			}
+			g.b.Svc(5)
+			return nil
+		},
+		"futex_wait": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 2); err != nil {
+				return err
+			}
+			g.b.Svc(7)
+			return nil
+		},
+		"futex_wake": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 2); err != nil {
+				return err
+			}
+			g.b.Svc(8)
+			return nil
+		},
+		"barrier_init": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 2); err != nil {
+				return err
+			}
+			g.b.Svc(9)
+			return nil
+		},
+		"barrier_wait": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 1); err != nil {
+				return err
+			}
+			g.b.Svc(10)
+			return nil
+		},
+		"mmap": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 1); err != nil {
+				return err
+			}
+			g.b.Svc(11)
+			return nil
+		},
+		"clock": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 0); err != nil {
+				return err
+			}
+			g.b.Svc(12)
+			return nil
+		},
+		"yield": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 0); err != nil {
+				return err
+			}
+			g.b.Yield()
+			return nil
+		},
+		"fence": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 0); err != nil {
+				return err
+			}
+			g.b.Dmb()
+			return nil
+		},
+		"clrex": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 0); err != nil {
+				return err
+			}
+			g.b.Clrex()
+			return nil
+		},
+		"ll": func(g *gen, n *callExpr) error {
+			if err := g.argRegs(n, 1); err != nil {
+				return err
+			}
+			g.b.Mov(arch.R1, arch.R0)
+			g.b.Ldrex(arch.R0, arch.R1)
+			return nil
+		},
+		"sc": func(g *gen, n *callExpr) error {
+			// sc(addr, val) -> 0 on success, 1 on failure.
+			if err := g.argRegs(n, 2); err != nil {
+				return err
+			}
+			g.b.Mov(arch.R2, arch.R1)
+			g.b.Mov(arch.R1, arch.R0)
+			g.b.Strex(arch.R0, arch.R2, arch.R1)
+			return nil
+		},
+		"atomic_add": func(g *gen, n *callExpr) error {
+			// atomic_add(addr, delta) -> new value. The emitted retry loop is
+			// exactly the fuser's RMW pattern.
+			if err := g.argRegs(n, 2); err != nil {
+				return err
+			}
+			g.b.Mov(arch.R2, arch.R1)
+			g.b.Mov(arch.R1, arch.R0)
+			retry := g.b.Gensym("aadd")
+			g.b.Label(retry)
+			g.b.Ldrex(arch.R0, arch.R1)
+			g.b.Add(arch.R0, arch.R0, arch.R2)
+			g.b.Strex(arch.R3, arch.R0, arch.R1)
+			g.b.CmpI(arch.R3, 0)
+			g.b.Bne(retry)
+			return nil
+		},
+		"atomic_xchg": func(g *gen, n *callExpr) error {
+			// atomic_xchg(addr, val) -> old value.
+			if err := g.argRegs(n, 2); err != nil {
+				return err
+			}
+			g.b.Mov(arch.R2, arch.R1)
+			g.b.Mov(arch.R1, arch.R0)
+			retry := g.b.Gensym("axchg")
+			g.b.Label(retry)
+			g.b.Ldrex(arch.R0, arch.R1)
+			g.b.Strex(arch.R3, arch.R2, arch.R1)
+			g.b.CmpI(arch.R3, 0)
+			g.b.Bne(retry)
+			return nil
+		},
+		"atomic_cas": func(g *gen, n *callExpr) error {
+			// atomic_cas(addr, old, new) -> 0 on success, 1 on mismatch.
+			if err := g.argRegs(n, 3); err != nil {
+				return err
+			}
+			g.b.Mov(arch.R12, arch.R2) // new
+			g.b.Mov(arch.R2, arch.R1)  // expected
+			g.b.Mov(arch.R1, arch.R0)  // addr
+			retry := g.b.Gensym("acas")
+			fail := g.b.Gensym("acasf")
+			done := g.b.Gensym("acasd")
+			g.b.Label(retry)
+			g.b.Ldrex(arch.R0, arch.R1)
+			g.b.Cmp(arch.R0, arch.R2)
+			g.b.Bne(fail)
+			g.b.Strex(arch.R3, arch.R12, arch.R1)
+			g.b.CmpI(arch.R3, 0)
+			g.b.Bne(retry)
+			g.b.MovI(arch.R0, 0)
+			g.b.B(done)
+			g.b.Label(fail)
+			g.b.Clrex()
+			g.b.MovI(arch.R0, 1)
+			g.b.Label(done)
+			return nil
+		},
+	}
+}

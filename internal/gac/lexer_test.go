@@ -1,0 +1,140 @@
+package gac
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, "var x = 0x1f + 42;")
+	want := []struct {
+		kind tokKind
+		text string
+	}{
+		{tokKeyword, "var"}, {tokIdent, "x"}, {tokPunct, "="},
+		{tokNumber, "0x1f"}, {tokPunct, "+"}, {tokNumber, "42"},
+		{tokPunct, ";"}, {tokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].kind != w.kind || (w.text != "" && toks[i].text != w.text) {
+			t.Errorf("token %d = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+	if toks[3].num != 0x1f || toks[5].num != 42 {
+		t.Errorf("numbers: %d %d", toks[3].num, toks[5].num)
+	}
+}
+
+func TestLexMultiCharOps(t *testing.T) {
+	toks := lexKinds(t, "a<=b>=c==d!=e&&f||g<<h>>i")
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokPunct {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestLexLineTracking(t *testing.T) {
+	toks := lexKinds(t, "a\nb\n\nc")
+	lines := map[string]int{}
+	for _, tk := range toks {
+		if tk.kind == tokIdent {
+			lines[tk.text] = tk.line
+		}
+	}
+	if lines["a"] != 1 || lines["b"] != 2 || lines["c"] != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("a $ b"); err == nil {
+		t.Error("bad character should fail")
+	}
+	if _, err := lex("/* never closed"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+	if _, err := lex("var x = 99999999999999;"); err == nil {
+		t.Error("overflowing number should fail")
+	}
+}
+
+func TestParsePrecedenceShape(t *testing.T) {
+	toks := lexKinds(t, "func main() { return 1 + 2 * 3 == 7 && 1; }")
+	prog, err := parse(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.funcs[0].body.stmts[0].(*returnStmt)
+	// Top level must be &&.
+	and, ok := ret.val.(*binExpr)
+	if !ok || and.op != "&&" {
+		t.Fatalf("top op = %#v", ret.val)
+	}
+	eq, ok := and.l.(*binExpr)
+	if !ok || eq.op != "==" {
+		t.Fatalf("second level = %#v", and.l)
+	}
+	plus, ok := eq.l.(*binExpr)
+	if !ok || plus.op != "+" {
+		t.Fatalf("third level = %#v", eq.l)
+	}
+	mul, ok := plus.r.(*binExpr)
+	if !ok || mul.op != "*" {
+		t.Fatalf("mul did not bind tighter: %#v", plus.r)
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	toks := lexKinds(t, "func main() { if (1) if (2) return 3; else return 4; }")
+	prog, err := parse(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.funcs[0].body.stmts[0].(*ifStmt)
+	if outer.els_ != nil {
+		t.Fatal("else must bind to the inner if")
+	}
+	inner := outer.then.(*ifStmt)
+	if inner.els_ == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestParseErrorsHaveLines(t *testing.T) {
+	cases := []string{
+		"func main( { }",
+		"func main() { var; }",
+		"func main() { while 1 {} }",
+		"var a[0]; func main() {}",
+		"func main() { return 1 }",
+	}
+	for _, src := range cases {
+		toks, err := lex(src)
+		if err != nil {
+			continue
+		}
+		if _, err := parse(toks); err == nil {
+			t.Errorf("parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package gac
+
+// Recursive-descent parser with precedence climbing for expressions.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(toks []token) (*program, error) {
+	p := &parser{toks: toks}
+	prog := &program{}
+	for !p.at(tokEOF) {
+		switch {
+		case p.atKeyword("var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case p.atKeyword("func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, errf(p.cur().line, "expected 'var' or 'func', got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) eatPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.eatPunct(s) {
+		return errf(p.cur().line, "expected %q, got %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if !p.at(tokIdent) {
+		return token{}, errf(p.cur().line, "expected identifier, got %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+// globalDecl parses: var name; | var name = NUM; | var name[NUM];
+func (p *parser) globalDecl() (*globalDecl, error) {
+	kw := p.next() // 'var'
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name.text, size: 1, line: kw.line}
+	if p.eatPunct("[") {
+		if !p.at(tokNumber) {
+			return nil, errf(p.cur().line, "array size must be a constant")
+		}
+		g.size = p.next().num
+		if g.size == 0 || g.size > 1<<20 {
+			return nil, errf(kw.line, "array size %d out of range", g.size)
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	} else if p.eatPunct("=") {
+		if !p.at(tokNumber) {
+			return nil, errf(p.cur().line, "global initializer must be a constant")
+		}
+		g.init = p.next().num
+	}
+	return g, p.expectPunct(";")
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	kw := p.next() // 'func'
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name.text, line: kw.line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		if len(f.params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, prm.text)
+	}
+	p.next() // ')'
+	if len(f.params) > 4 {
+		return nil, errf(kw.line, "function %s: at most 4 parameters (r0-r3 ABI)", f.name)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	line := p.cur().line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{line: line}
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, errf(line, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	p.next() // '}'
+	return b, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+	case p.atKeyword("var"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s := &varStmt{name: name.text, line: t.line}
+		if p.eatPunct("=") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			s.init = e
+		}
+		return s, p.expectPunct(";")
+	case p.atKeyword("if"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: t.line}
+		if p.atKeyword("else") {
+			p.next()
+			els, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			s.els_ = els
+		}
+		return s, nil
+	case p.atKeyword("while"):
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case p.atKeyword("return"):
+		p.next()
+		s := &returnStmt{line: t.line}
+		if !p.atPunct(";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			s.val = e
+		}
+		return s, p.expectPunct(";")
+	case p.atKeyword("break"):
+		p.next()
+		return &breakStmt{line: t.line}, p.expectPunct(";")
+	case p.atKeyword("continue"):
+		p.next()
+		return &continueStmt{line: t.line}, p.expectPunct(";")
+	}
+	// Expression or assignment statement.
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatPunct("=") {
+		rhs, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{lhs: e, rhs: rhs, line: t.line}, p.expectPunct(";")
+	}
+	return &exprStmt{e: e, line: t.line}, p.expectPunct(";")
+}
+
+// Binary operator precedence (higher binds tighter).
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expression() (expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: t.text, l: lhs, r: rhs, line: t.line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "*", "&":
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("[") {
+		t := p.next()
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		e = &indexExpr{base: e, idx: idx, line: t.line}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &numExpr{val: t.num, line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.atPunct("(") {
+			p.next()
+			call := &callExpr{name: t.text, line: t.line}
+			for !p.atPunct(")") {
+				if len(call.args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+			}
+			p.next() // ')'
+			return call, nil
+		}
+		return &identExpr{name: t.text, line: t.line}, nil
+	case p.atPunct("("):
+		p.next()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	}
+	return nil, errf(t.line, "unexpected %s in expression", t)
+}

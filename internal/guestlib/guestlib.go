@@ -1,0 +1,223 @@
+// Package guestlib is atomemu's guest-side runtime library: GA32 routines
+// emitted through the macro-assembler that workloads, examples and tests
+// link into their images. It provides the LL/SC idioms the paper's
+// evaluation exercises — atomic read-modify-writes, spin and futex locks —
+// and the Treiber lock-free stack of the paper's Figure 3, together with
+// host-side helpers to initialize and audit the stack for ABA corruption.
+//
+// Calling convention: arguments in r0..r3, result in r0, r1–r3 and r12 are
+// caller-saved scratch, r4–r11 callee-saved, return via bx lr. Routines here
+// are leaves (no stack use) unless documented.
+package guestlib
+
+import (
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+)
+
+// EmitAtomicAdd emits "name": r0 = address, r1 = delta; returns the new
+// value in r0. Classic LL/SC retry loop (the compiler-generated pattern the
+// paper's §VI discusses).
+func EmitAtomicAdd(b *asm.Builder, name string) {
+	retry := b.Gensym(name)
+	b.Label(name)
+	b.Label(retry)
+	b.Ldrex(arch.R2, arch.R0)
+	b.Add(arch.R2, arch.R2, arch.R1)
+	b.Strex(arch.R3, arch.R2, arch.R0)
+	b.CmpI(arch.R3, 0)
+	b.Bne(retry)
+	b.Mov(arch.R0, arch.R2)
+	b.Ret()
+}
+
+// EmitAtomicXchg emits "name": r0 = address, r1 = new value; returns the
+// old value in r0.
+func EmitAtomicXchg(b *asm.Builder, name string) {
+	retry := b.Gensym(name)
+	b.Label(name)
+	b.Label(retry)
+	b.Ldrex(arch.R2, arch.R0)
+	b.Strex(arch.R3, arch.R1, arch.R0)
+	b.CmpI(arch.R3, 0)
+	b.Bne(retry)
+	b.Mov(arch.R0, arch.R2)
+	b.Ret()
+}
+
+// EmitAtomicCAS emits "name": r0 = address, r1 = expected, r2 = desired;
+// returns 0 in r0 on success, 1 on mismatch. Built from LL/SC like libc's
+// __atomic_compare_exchange on ARM.
+func EmitAtomicCAS(b *asm.Builder, name string) {
+	retry := b.Gensym(name)
+	fail := b.Gensym(name)
+	b.Label(name)
+	b.Label(retry)
+	b.Ldrex(arch.R3, arch.R0)
+	b.Cmp(arch.R3, arch.R1)
+	b.Bne(fail)
+	b.Strex(arch.R3, arch.R2, arch.R0)
+	b.CmpI(arch.R3, 0)
+	b.Bne(retry)
+	b.MovI(arch.R0, 0)
+	b.Ret()
+	b.Label(fail)
+	b.Clrex()
+	b.MovI(arch.R0, 1)
+	b.Ret()
+}
+
+// EmitSpinLock emits "name_acquire" and "name_release": r0 = lock address.
+// Pure LL/SC spinlock with a yield hint in the contended path.
+func EmitSpinLock(b *asm.Builder, name string) {
+	acq := name + "_acquire"
+	rel := name + "_release"
+	wait := b.Gensym(name)
+	b.Label(acq)
+	b.Ldrex(arch.R1, arch.R0)
+	b.CmpI(arch.R1, 0)
+	b.Bne(wait)
+	b.MovI(arch.R1, 1)
+	b.Strex(arch.R2, arch.R1, arch.R0)
+	b.CmpI(arch.R2, 0)
+	b.Bne(acq)
+	b.Ret()
+	b.Label(wait)
+	b.Clrex()
+	b.Yield()
+	b.B(acq)
+
+	b.Label(rel)
+	b.MovI(arch.R1, 0)
+	b.Str(arch.R1, arch.R0, 0)
+	b.Ret()
+}
+
+// EmitFutexLock emits "name_acquire"/"name_release": r0 = lock address.
+// LL/SC fast path, futex sleep under contention, futex wake on release —
+// the pthread-mutex shape the paper's PARSEC workloads spend their atomic
+// instructions in. Clobbers r1–r4.
+func EmitFutexLock(b *asm.Builder, name string) {
+	acq := name + "_acquire"
+	rel := name + "_release"
+	retry := b.Gensym(name)
+	contended := b.Gensym(name)
+	b.Label(acq)
+	b.Mov(arch.R4, arch.R0)
+	b.Label(retry)
+	b.Ldrex(arch.R1, arch.R4)
+	b.CmpI(arch.R1, 0)
+	b.Bne(contended)
+	b.MovI(arch.R1, 1)
+	b.Strex(arch.R2, arch.R1, arch.R4)
+	b.CmpI(arch.R2, 0)
+	b.Bne(retry)
+	b.Ret()
+	b.Label(contended)
+	b.Clrex()
+	b.Mov(arch.R0, arch.R4)
+	b.MovI(arch.R1, 1)
+	b.Svc(7) // futex_wait(lock, 1)
+	b.Mov(arch.R0, arch.R4)
+	b.B(retry)
+
+	b.Label(rel)
+	b.MovI(arch.R1, 0)
+	b.Str(arch.R1, arch.R0, 0)
+	b.MovI(arch.R1, 1)
+	b.Svc(8) // futex_wake(lock, 1)
+	b.Ret()
+}
+
+// EmitXorshift emits "name": r0 = address of a 1-word state; returns the
+// next pseudo-random value in r0. xorshift32; the state must be nonzero.
+func EmitXorshift(b *asm.Builder, name string) {
+	b.Label(name)
+	b.Ldr(arch.R1, arch.R0, 0)
+	b.LslI(arch.R2, arch.R1, 13)
+	b.Eor(arch.R1, arch.R1, arch.R2)
+	b.LsrI(arch.R2, arch.R1, 17)
+	b.Eor(arch.R1, arch.R1, arch.R2)
+	b.LslI(arch.R2, arch.R1, 5)
+	b.Eor(arch.R1, arch.R1, arch.R2)
+	b.Str(arch.R1, arch.R0, 0)
+	b.Mov(arch.R0, arch.R1)
+	b.Ret()
+}
+
+// EmitTicketLock emits "name_acquire"/"name_release": r0 = lock address of
+// a two-word ticket lock [next_ticket, now_serving]. FIFO-fair, unlike the
+// test-and-set spinlock; the acquire's fetch-and-add is the compiler RMW
+// shape the rule-based fuser recognizes. Clobbers r1–r4.
+func EmitTicketLock(b *asm.Builder, name string) {
+	acq := name + "_acquire"
+	rel := name + "_release"
+	take := b.Gensym(name)
+	spin := b.Gensym(name)
+	got := b.Gensym(name)
+	b.Label(acq)
+	b.Mov(arch.R4, arch.R0)
+	// my_ticket = atomic_add(&next_ticket, 1) - 1
+	b.Label(take)
+	b.Ldrex(arch.R1, arch.R4)
+	b.AddI(arch.R1, arch.R1, 1)
+	b.Strex(arch.R2, arch.R1, arch.R4)
+	b.CmpI(arch.R2, 0)
+	b.Bne(take)
+	b.SubI(arch.R3, arch.R1, 1) // my ticket
+	// while (now_serving != my_ticket) yield
+	b.Label(spin)
+	b.Ldr(arch.R1, arch.R4, 4)
+	b.Cmp(arch.R1, arch.R3)
+	b.Beq(got)
+	b.Yield()
+	b.B(spin)
+	b.Label(got)
+	b.Ret()
+
+	b.Label(rel)
+	b.Ldr(arch.R1, arch.R0, 4)
+	b.AddI(arch.R1, arch.R1, 1)
+	b.Str(arch.R1, arch.R0, 4)
+	b.Ret()
+}
+
+// EmitMemcpyWords emits "name": r0 = dst, r1 = src, r2 = word count.
+// Returns r0 = dst. Clobbers r3. Word-granular, forward copy.
+func EmitMemcpyWords(b *asm.Builder, name string) {
+	loop := b.Gensym(name)
+	done := b.Gensym(name)
+	b.Label(name)
+	b.Push(arch.R0)
+	b.Label(loop)
+	b.CmpI(arch.R2, 0)
+	b.Beq(done)
+	b.Ldr(arch.R3, arch.R1, 0)
+	b.Str(arch.R3, arch.R0, 0)
+	b.AddI(arch.R0, arch.R0, 4)
+	b.AddI(arch.R1, arch.R1, 4)
+	b.SubI(arch.R2, arch.R2, 1)
+	b.B(loop)
+	b.Label(done)
+	b.Pop(arch.R0)
+	b.Ret()
+}
+
+// EmitMemsetWords emits "name": r0 = dst, r1 = value, r2 = word count.
+// Returns r0 = dst. Clobbers nothing else.
+func EmitMemsetWords(b *asm.Builder, name string) {
+	loop := b.Gensym(name)
+	done := b.Gensym(name)
+	b.Label(name)
+	b.Push(arch.R0)
+	b.Label(loop)
+	b.CmpI(arch.R2, 0)
+	b.Beq(done)
+	b.Str(arch.R1, arch.R0, 0)
+	b.AddI(arch.R0, arch.R0, 4)
+	b.SubI(arch.R2, arch.R2, 1)
+	b.B(loop)
+	b.Label(done)
+	b.Pop(arch.R0)
+	b.Ret()
+}

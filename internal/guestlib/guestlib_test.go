@@ -1,0 +1,371 @@
+package guestlib
+
+import (
+	"testing"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+	"atomemu/internal/engine"
+)
+
+// runWorkers builds a machine for the scheme, loads the image, spawns n
+// workers at entry with the given r0, runs to completion.
+func runWorkers(t *testing.T, scheme string, im *asm.Image, entry uint32, n int, arg uint32) *engine.Machine {
+	t.Helper()
+	cfg := engine.DefaultConfig(scheme)
+	cfg.MaxGuestInstrs = 200_000_000
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(im); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := m.SpawnThread(entry, arg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildWith assembles a worker program around emitted library routines.
+func buildWith(t *testing.T, emit func(b *asm.Builder)) *asm.Image {
+	t.Helper()
+	b := asm.NewBuilder(0x10000)
+	emit(b)
+	im, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestAtomicAddConcurrent(t *testing.T) {
+	const threads, iters = 4, 2000
+	im := buildWith(t, func(b *asm.Builder) {
+		b.Label("worker") // r0 = iters
+		b.Mov(arch.R9, arch.R0)
+		b.Label("loop")
+		b.LoadAddr(arch.R0, "cell")
+		b.MovI(arch.R1, 1)
+		b.BL("atomic_add")
+		b.SubsI(arch.R9, arch.R9, 1)
+		b.Bne("loop")
+		b.MovI(arch.R0, 0)
+		b.Svc(1)
+		EmitAtomicAdd(b, "atomic_add")
+		b.AlignWords(2)
+		b.Label("cell")
+		b.Word(0)
+	})
+	for _, scheme := range []string{"pico-cas", "hst", "hst-weak", "pst"} {
+		t.Run(scheme, func(t *testing.T) {
+			m := runWorkers(t, scheme, im, im.MustSymbol("worker"), threads, iters)
+			v, _ := m.Mem().ReadWordPriv(im.MustSymbol("cell"))
+			if v != threads*iters {
+				t.Fatalf("atomic_add lost updates: %d, want %d", v, threads*iters)
+			}
+		})
+	}
+}
+
+func TestAtomicCASAndXchg(t *testing.T) {
+	im := buildWith(t, func(b *asm.Builder) {
+		b.Label("main")
+		// xchg cell: old value (7) -> r0, cell = 9.
+		b.LoadAddr(arch.R0, "cell")
+		b.MovI(arch.R1, 9)
+		b.BL("axchg")
+		b.Svc(6) // write old (7)
+		// CAS cell 9 -> 11: succeeds (writes 0).
+		b.LoadAddr(arch.R0, "cell")
+		b.MovI(arch.R1, 9)
+		b.MovI(arch.R2, 11)
+		b.BL("acas")
+		b.Svc(6)
+		// CAS cell 9 -> 13: fails (writes 1), cell stays 11.
+		b.LoadAddr(arch.R0, "cell")
+		b.MovI(arch.R1, 9)
+		b.MovI(arch.R2, 13)
+		b.BL("acas")
+		b.Svc(6)
+		b.LoadAddr(arch.R1, "cell")
+		b.Ldr(arch.R0, arch.R1, 0)
+		b.Svc(6) // write 11
+		b.Svc(1)
+		EmitAtomicCAS(b, "acas")
+		EmitAtomicXchg(b, "axchg")
+		b.AlignWords(2)
+		b.Label("cell")
+		b.Word(7)
+	})
+	m := runWorkers(t, "hst", im, im.MustSymbol("main"), 1, 0)
+	want := []uint32{7, 0, 1, 11}
+	got := m.Output()
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+}
+
+func lockCounterImage(t *testing.T, emitLock func(b *asm.Builder, name string)) *asm.Image {
+	return buildWith(t, func(b *asm.Builder) {
+		b.Label("worker") // r0 = iters
+		b.Mov(arch.R9, arch.R0)
+		b.Label("loop")
+		b.LoadAddr(arch.R0, "lock")
+		b.BL("l_acquire")
+		// Unprotected increment inside the critical section.
+		b.LoadAddr(arch.R4, "cell")
+		b.Ldr(arch.R1, arch.R4, 0)
+		b.AddI(arch.R1, arch.R1, 1)
+		b.Str(arch.R1, arch.R4, 0)
+		b.LoadAddr(arch.R0, "lock")
+		b.BL("l_release")
+		b.SubsI(arch.R9, arch.R9, 1)
+		b.Bne("loop")
+		b.MovI(arch.R0, 0)
+		b.Svc(1)
+		emitLock(b, "l")
+		b.AlignWords(2)
+		b.Label("lock")
+		b.Word(0)
+		b.Label("cell")
+		b.Word(0)
+	})
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	const threads, iters = 4, 800
+	im := lockCounterImage(t, EmitSpinLock)
+	for _, scheme := range []string{"pico-cas", "hst", "hst-weak", "pico-st"} {
+		t.Run(scheme, func(t *testing.T) {
+			m := runWorkers(t, scheme, im, im.MustSymbol("worker"), threads, iters)
+			v, _ := m.Mem().ReadWordPriv(im.MustSymbol("cell"))
+			if v != threads*iters {
+				t.Fatalf("spinlock failed mutual exclusion: %d, want %d", v, threads*iters)
+			}
+		})
+	}
+}
+
+func TestFutexLockMutualExclusion(t *testing.T) {
+	const threads, iters = 6, 500
+	im := lockCounterImage(t, EmitFutexLock)
+	m := runWorkers(t, "hst", im, im.MustSymbol("worker"), threads, iters)
+	v, _ := m.Mem().ReadWordPriv(im.MustSymbol("cell"))
+	if v != threads*iters {
+		t.Fatalf("futex lock failed mutual exclusion: %d, want %d", v, threads*iters)
+	}
+}
+
+func TestXorshiftMatchesReference(t *testing.T) {
+	im := buildWith(t, func(b *asm.Builder) {
+		b.Label("main")
+		b.MovI(arch.R9, 5)
+		b.Label("loop")
+		b.LoadAddr(arch.R0, "state")
+		b.BL("rng")
+		b.Svc(6)
+		b.SubsI(arch.R9, arch.R9, 1)
+		b.Bne("loop")
+		b.Svc(1)
+		EmitXorshift(b, "rng")
+		b.AlignWords(2)
+		b.Label("state")
+		b.Word(0x12345678)
+	})
+	m := runWorkers(t, "pico-cas", im, im.MustSymbol("main"), 1, 0)
+	// Host-side xorshift32 reference.
+	ref := uint32(0x12345678)
+	step := func() uint32 {
+		ref ^= ref << 13
+		ref ^= ref >> 17
+		ref ^= ref << 5
+		return ref
+	}
+	for i, got := range m.Output() {
+		if want := step(); got != want {
+			t.Fatalf("xorshift output %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestStackBenchSingleThreadClean(t *testing.T) {
+	sb, err := BuildStackBench(0x10000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig("hst")
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(sb.Image); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.InitStack(m.Mem()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnThread(sb.Worker, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sb.CheckStack(m.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupted() {
+		t.Fatalf("single-threaded stack corrupted: %s", rep)
+	}
+	if rep.Walked != 16 {
+		t.Fatalf("walked %d nodes, want 16", rep.Walked)
+	}
+}
+
+// runStackBench runs the ABA micro-benchmark and audits the stack.
+func runStackBench(t *testing.T, scheme string, threads int, opsPerThread uint32, nodes uint32) StackReport {
+	t.Helper()
+	sb, err := BuildStackBench(0x10000, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig(scheme)
+	cfg.MaxGuestInstrs = 500_000_000
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(sb.Image); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.InitStack(m.Mem()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < threads; i++ {
+		if _, err := m.SpawnThread(sb.Worker, opsPerThread); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sb.CheckStack(m.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestABAStackCorrectSchemesClean is the paper's §IV-A correctness claim:
+// every scheme except PICO-CAS keeps the lock-free stack intact.
+func TestABAStackCorrectSchemesClean(t *testing.T) {
+	for _, scheme := range []string{"pico-st", "hst", "hst-weak", "hst-htm", "pico-htm", "pst", "pst-remap", "pst-mpk"} {
+		t.Run(scheme, func(t *testing.T) {
+			rep := runStackBench(t, scheme, 8, 2500, 8)
+			if rep.Corrupted() {
+				t.Fatalf("%s corrupted the stack: %s", scheme, rep)
+			}
+		})
+	}
+}
+
+// TestABAStackPicoCASCorrupts: QEMU-4.1's scheme must exhibit the ABA
+// problem under contention. The race needs the scheduler to cooperate, so
+// several attempts are made; the paper's QEMU crashes within 2 seconds.
+func TestABAStackPicoCASCorrupts(t *testing.T) {
+	for attempt := 0; attempt < 6; attempt++ {
+		rep := runStackBench(t, "pico-cas", 8, 20_000, 4)
+		if rep.Corrupted() {
+			t.Logf("ABA corruption observed on attempt %d: %s", attempt+1, rep)
+			return
+		}
+	}
+	t.Fatal("pico-cas never corrupted the stack — the ABA reproduction is broken")
+}
+
+func TestTicketLockMutualExclusionAndFairness(t *testing.T) {
+	const threads, iters = 5, 400
+	im := buildWith(t, func(b *asm.Builder) {
+		b.Label("worker") // r0 = iters
+		b.Mov(arch.R9, arch.R0)
+		b.Label("loop")
+		b.LoadAddr(arch.R0, "tlock")
+		b.BL("t_acquire")
+		b.LoadAddr(arch.R4, "cell")
+		b.Ldr(arch.R1, arch.R4, 0)
+		b.AddI(arch.R1, arch.R1, 1)
+		b.Str(arch.R1, arch.R4, 0)
+		b.LoadAddr(arch.R0, "tlock")
+		b.BL("t_release")
+		b.SubsI(arch.R9, arch.R9, 1)
+		b.Bne("loop")
+		b.MovI(arch.R0, 0)
+		b.Svc(1)
+		EmitTicketLock(b, "t")
+		b.AlignWords(2)
+		b.Label("tlock")
+		b.Word(0) // next_ticket
+		b.Word(0) // now_serving
+		b.Label("cell")
+		b.Word(0)
+	})
+	for _, scheme := range []string{"hst", "pico-cas", "pst-mpk"} {
+		t.Run(scheme, func(t *testing.T) {
+			m := runWorkers(t, scheme, im, im.MustSymbol("worker"), threads, iters)
+			v, _ := m.Mem().ReadWordPriv(im.MustSymbol("cell"))
+			if v != threads*iters {
+				t.Fatalf("ticket lock lost updates: %d, want %d", v, threads*iters)
+			}
+			// Ticket bookkeeping: next_ticket == now_serving == total sections.
+			next, _ := m.Mem().ReadWordPriv(im.MustSymbol("tlock"))
+			serving, _ := m.Mem().ReadWordPriv(im.MustSymbol("tlock") + 4)
+			if next != threads*iters || serving != threads*iters {
+				t.Fatalf("tickets: next=%d serving=%d, want %d", next, serving, threads*iters)
+			}
+		})
+	}
+}
+
+func TestMemcpyAndMemsetWords(t *testing.T) {
+	im := buildWith(t, func(b *asm.Builder) {
+		b.Label("main")
+		// memset(dst, 0xAB, 8), then copy 8 words src -> dst2, print probes.
+		b.LoadAddr(arch.R0, "dst")
+		b.MovImm32(arch.R1, 0xAB)
+		b.MovI(arch.R2, 8)
+		b.BL("wmemset")
+		b.LoadAddr(arch.R0, "dst2")
+		b.LoadAddr(arch.R1, "dst")
+		b.MovI(arch.R2, 8)
+		b.BL("wmemcpy")
+		b.LoadAddr(arch.R4, "dst2")
+		b.Ldr(arch.R0, arch.R4, 0)
+		b.Svc(6)
+		b.Ldr(arch.R0, arch.R4, 28)
+		b.Svc(6)
+		b.Svc(1)
+		EmitMemcpyWords(b, "wmemcpy")
+		EmitMemsetWords(b, "wmemset")
+		b.AlignWords(2)
+		b.Label("dst")
+		b.Space(8)
+		b.Label("dst2")
+		b.Space(8)
+	})
+	m := runWorkers(t, "pico-cas", im, im.MustSymbol("main"), 1, 0)
+	out := m.Output()
+	if len(out) != 2 || out[0] != 0xAB || out[1] != 0xAB {
+		t.Fatalf("output = %v, want [0xAB 0xAB]", out)
+	}
+}

@@ -1,0 +1,239 @@
+package guestlib
+
+import (
+	"fmt"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+	"atomemu/internal/mmu"
+)
+
+// Treiber lock-free stack, the paper's Figure 3. Nodes are two words:
+// [next, value]. The push stores node->next between the LL and the SC; the
+// pop dereferences old_top->next between them — exactly the patterns whose
+// atomicity the emulation schemes must preserve. Under PICO-CAS the pop's
+// SC degenerates to a value CAS and the ABA interleaving of the paper's
+// Figure 2 corrupts the stack.
+
+// NodeWords is the node size in words: next pointer + payload.
+const NodeWords = 2
+
+// EmitStack emits "name_push" (r0 = &top, r1 = node) and "name_pop"
+// (r0 = &top; returns the node in r0, or 0 when the stack is empty).
+func EmitStack(b *asm.Builder, name string) {
+	pushRetry := b.Gensym(name)
+	b.Label(name + "_push")
+	b.Label(pushRetry)
+	b.Ldrex(arch.R2, arch.R0)          // old_top = LL(&top)
+	b.Str(arch.R2, arch.R1, 0)         // node->next = old_top (plain store inside the window)
+	b.Strex(arch.R3, arch.R1, arch.R0) // SC(&top, node)
+	b.CmpI(arch.R3, 0)
+	b.Bne(pushRetry)
+	b.Ret()
+
+	popRetry := b.Gensym(name)
+	popEmpty := b.Gensym(name)
+	b.Label(name + "_pop")
+	b.Label(popRetry)
+	b.Ldrex(arch.R1, arch.R0) // old_top = LL(&top)
+	b.CmpI(arch.R1, 0)
+	b.Beq(popEmpty)
+	b.Ldr(arch.R2, arch.R1, 0)         // new_top = old_top->next (load inside the window)
+	b.Strex(arch.R3, arch.R2, arch.R0) // SC(&top, new_top)
+	b.CmpI(arch.R3, 0)
+	b.Bne(popRetry)
+	b.Mov(arch.R0, arch.R1)
+	b.Ret()
+	b.Label(popEmpty)
+	b.Clrex()
+	b.MovI(arch.R0, 0)
+	b.Ret()
+}
+
+// StackBench describes an assembled lock-free-stack benchmark image.
+type StackBench struct {
+	Image *asm.Image
+	// Worker is the thread entry: r0 = operation count (pop+push pairs).
+	Worker uint32
+	// Top is the address of the stack top pointer.
+	Top uint32
+	// Nodes is the base of the node array.
+	Nodes uint32
+	// NumNodes is the node count.
+	NumNodes uint32
+}
+
+// BuildStackBench assembles the paper's §IV-A micro-benchmark: each worker
+// repeatedly pops a node and pushes it back. The host seeds the stack with
+// InitStack and audits it with CheckStack after the run.
+func BuildStackBench(org uint32, numNodes uint32) (*StackBench, error) {
+	if numNodes == 0 {
+		return nil, fmt.Errorf("guestlib: need at least one node")
+	}
+	b := asm.NewBuilder(org)
+
+	loop := "worker_loop"
+	again := "worker_pop_again"
+	b.Label("worker") // r0 = iterations
+	b.Mov(arch.R9, arch.R0)
+	b.MovI(arch.R10, 0) // consecutive-empty counter
+	b.Label(loop)
+	b.Label(again)
+	b.LoadAddr(arch.R0, "top")
+	b.BL("stack_pop")
+	b.CmpI(arch.R0, 0)
+	b.Beq("worker_empty")
+	b.MovI(arch.R10, 0)
+	b.Mov(arch.R8, arch.R0)
+	// Touch the payload so the window between pop and push is realistic.
+	b.Ldr(arch.R1, arch.R8, 4)
+	b.AddI(arch.R1, arch.R1, 1)
+	b.Str(arch.R1, arch.R8, 4)
+	b.LoadAddr(arch.R0, "top")
+	b.Mov(arch.R1, arch.R8)
+	b.BL("stack_push")
+	b.SubsI(arch.R9, arch.R9, 1)
+	b.Bne(loop)
+	b.MovI(arch.R0, 0)
+	b.Svc(1) // exit
+	b.Label("worker_empty")
+	// Transiently empty under heavy popping: retry without consuming an
+	// iteration. A persistently empty stack means corruption lost every
+	// node — bail out with exit code 2 so the run terminates (the paper's
+	// QEMU run crashes here instead).
+	b.AddI(arch.R10, arch.R10, 1)
+	b.MovImm32(arch.R11, 100_000)
+	b.Cmp(arch.R10, arch.R11)
+	b.Bge("worker_lost")
+	b.Yield()
+	b.B(again)
+	b.Label("worker_lost")
+	b.MovI(arch.R0, 2)
+	b.Svc(1)
+
+	EmitStack(b, "stack")
+
+	b.AlignWords(mmu.PageWords) // keep data off the code page (PST fairness)
+	b.Label("top")
+	b.Word(0)
+	b.AlignWords(2)
+	b.Label("nodes")
+	b.Space(int(numNodes) * NodeWords)
+
+	im, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &StackBench{
+		Image:    im,
+		Worker:   im.MustSymbol("worker"),
+		Top:      im.MustSymbol("top"),
+		Nodes:    im.MustSymbol("nodes"),
+		NumNodes: numNodes,
+	}, nil
+}
+
+// memory is the slice of mmu.Memory the stack helpers need; *mmu.Memory
+// satisfies it.
+type memory interface {
+	ReadWordPriv(addr uint32) (uint32, *mmu.Fault)
+	WriteWordPriv(addr, val uint32) *mmu.Fault
+}
+
+// InitStack links every node onto the stack: top -> node0 -> node1 -> ...
+func (sb *StackBench) InitStack(mem memory) error {
+	for i := uint32(0); i < sb.NumNodes; i++ {
+		node := sb.Nodes + i*NodeWords*4
+		next := uint32(0)
+		if i+1 < sb.NumNodes {
+			next = node + NodeWords*4
+		}
+		if f := mem.WriteWordPriv(node, next); f != nil {
+			return f
+		}
+		if f := mem.WriteWordPriv(node+4, 0); f != nil {
+			return f
+		}
+	}
+	if f := mem.WriteWordPriv(sb.Top, sb.Nodes); f != nil {
+		return f
+	}
+	return nil
+}
+
+// StackReport is the result of auditing the stack after a run.
+type StackReport struct {
+	// Walked is how many nodes were reachable from top before a stop
+	// condition.
+	Walked uint32
+	// SelfLoops counts nodes whose next pointer is themselves — the
+	// paper's ABA signature.
+	SelfLoops uint32
+	// Cycles is true if the walk revisited a node (broader corruption).
+	Cycles bool
+	// Missing is how many of the original nodes are unreachable.
+	Missing uint32
+	// BadPointer is true if a next pointer left the node array.
+	BadPointer bool
+}
+
+// Corrupted reports whether any ABA damage was found.
+func (r StackReport) Corrupted() bool {
+	return r.SelfLoops > 0 || r.Cycles || r.Missing > 0 || r.BadPointer
+}
+
+func (r StackReport) String() string {
+	return fmt.Sprintf("walked=%d selfLoops=%d cycles=%v missing=%d badPtr=%v",
+		r.Walked, r.SelfLoops, r.Cycles, r.Missing, r.BadPointer)
+}
+
+// CheckStack walks the stack and reports ABA corruption. All workers must
+// have stopped.
+func (sb *StackBench) CheckStack(mem memory) (StackReport, error) {
+	var rep StackReport
+	inRange := func(p uint32) bool {
+		return p >= sb.Nodes && p < sb.Nodes+sb.NumNodes*NodeWords*4 &&
+			(p-sb.Nodes)%(NodeWords*4) == 0
+	}
+	seen := make(map[uint32]bool, sb.NumNodes)
+	cur, f := mem.ReadWordPriv(sb.Top)
+	if f != nil {
+		return rep, f
+	}
+	for cur != 0 {
+		if !inRange(cur) {
+			rep.BadPointer = true
+			break
+		}
+		if seen[cur] {
+			rep.Cycles = true
+			break
+		}
+		seen[cur] = true
+		rep.Walked++
+		next, f := mem.ReadWordPriv(cur)
+		if f != nil {
+			return rep, f
+		}
+		if next == cur {
+			break // self-loops are counted over the whole array below
+		}
+		cur = next
+	}
+	if rep.Walked < sb.NumNodes {
+		rep.Missing = sb.NumNodes - rep.Walked
+	}
+	// The paper's ABA metric: entries whose next pointer is themselves
+	// ("an average of 4% of the entries"), counted across every node.
+	for i := uint32(0); i < sb.NumNodes; i++ {
+		node := sb.Nodes + i*NodeWords*4
+		next, f := mem.ReadWordPriv(node)
+		if f != nil {
+			return rep, f
+		}
+		if next == node {
+			rep.SelfLoops++
+		}
+	}
+	return rep, nil
+}

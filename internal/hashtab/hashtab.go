@@ -1,0 +1,117 @@
+// Package hashtab implements the non-blocking store-test hash table at the
+// heart of the paper's HST scheme (§III-A, Fig. 4).
+//
+// The table maps guest addresses to the id of the thread that last touched
+// them through an instrumented access. Following the paper's design it is a
+// flat array with a single word per entry so that Set and Get compile to one
+// atomic store and one atomic load — cheap enough to inline at the IR level
+// instead of calling a helper. The index is taken directly from the address
+// bits (word-aligned), so distinct addresses may collide; collisions only
+// cause spurious SC failures (retried by the guest), never wrong successes.
+//
+// HST-WEAK additionally uses an entry as a tiny lock during SC emulation:
+// Lock/Unlock flip the entry's high bit with CAS.
+package hashtab
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// LockBit marks an entry locked by an SC in progress (HST-WEAK).
+const LockBit uint32 = 1 << 31
+
+// Empty is the value of an untouched entry. Thread ids must be nonzero and
+// below LockBit.
+const Empty uint32 = 0
+
+// Table is the store-test hash table.
+type Table struct {
+	entries []atomic.Uint32
+	mask    uint32
+}
+
+// New creates a table with 2^bits entries (covering 2^(bits+2) bytes of
+// guest address space before aliasing). The paper's configuration maps a
+// 4 GiB guest space into a 256 MiB region; the default used by the engine is
+// bits = 22 (16 MiB of host memory).
+func New(bits uint) (*Table, error) {
+	if bits < 4 || bits > 28 {
+		return nil, fmt.Errorf("hashtab: bits %d out of range [4,28]", bits)
+	}
+	n := uint32(1) << bits
+	return &Table{entries: make([]atomic.Uint32, n), mask: n - 1}, nil
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Index computes the entry index for a guest address: the word address
+// masked into the table, exactly the paper's "embed the index in the memory
+// address" trick.
+func (t *Table) Index(addr uint32) uint32 { return addr >> 2 & t.mask }
+
+// Collides reports whether two distinct addresses share an entry.
+func (t *Table) Collides(a, b uint32) bool { return a != b && t.Index(a) == t.Index(b) }
+
+// Set records tid as the last toucher of addr: Htable_set in the paper.
+// One atomic store; no locking.
+func (t *Table) Set(addr, tid uint32) { t.entries[t.Index(addr)].Store(tid) }
+
+// SetWait records tid like Set but respects an in-progress SC entry lock,
+// spinning until the entry is released. HST-WEAK's LL must use this: with no
+// stop-the-world around SC, a plain Set could clobber the lock bit and let
+// two SCs enter their critical sections at once.
+func (t *Table) SetWait(addr, tid uint32) {
+	e := &t.entries[t.Index(addr)]
+	for {
+		w := e.Load()
+		if w&LockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if e.CompareAndSwap(w, tid) {
+			return
+		}
+	}
+}
+
+// Get returns the current owner of addr's entry: Htable_check.
+func (t *Table) Get(addr uint32) uint32 { return t.entries[t.Index(addr)].Load() }
+
+// CheckOwner reports whether the entry for addr still belongs to tid — the
+// SC-side test. A store or LL by any other thread to a colliding address
+// flips the entry and makes this false.
+func (t *Table) CheckOwner(addr, tid uint32) bool { return t.Get(addr) == tid }
+
+// Lock attempts to transition addr's entry from tid to tid|LockBit,
+// claiming it for an SC in progress (HST-WEAK). It fails if the entry no
+// longer belongs to tid.
+func (t *Table) Lock(addr, tid uint32) bool {
+	return t.entries[t.Index(addr)].CompareAndSwap(tid, tid|LockBit)
+}
+
+// Unlock releases a Lock, clearing the entry. If another thread already
+// overwrote the entry (a racing LL or store) the unlock is a no-op — their
+// claim stands.
+func (t *Table) Unlock(addr, tid uint32) {
+	t.entries[t.Index(addr)].CompareAndSwap(tid|LockBit, Empty)
+}
+
+// Locked reports whether addr's entry is currently locked.
+func (t *Table) Locked(addr uint32) bool { return t.Get(addr)&LockBit != 0 }
+
+// LoadIndex reads an entry by index (HST-HTM maps entries into its
+// transactional address space by index).
+func (t *Table) LoadIndex(idx uint32) uint32 { return t.entries[idx].Load() }
+
+// StoreIndex writes an entry by index.
+func (t *Table) StoreIndex(idx, val uint32) { t.entries[idx].Store(val) }
+
+// Clear resets every entry; test helper.
+func (t *Table) Clear() {
+	for i := range t.entries {
+		t.entries[i].Store(Empty)
+	}
+}

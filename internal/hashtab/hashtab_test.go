@@ -1,0 +1,219 @@
+package hashtab
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTable(t *testing.T, bits uint) *Table {
+	t.Helper()
+	tab, err := New(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("too-small table should fail")
+	}
+	if _, err := New(29); err == nil {
+		t.Error("too-large table should fail")
+	}
+	tab := newTable(t, 10)
+	if tab.Len() != 1024 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestSetGetCheckOwner(t *testing.T) {
+	tab := newTable(t, 10)
+	const addr = 0x1234_5678 &^ 3
+	if tab.Get(addr) != Empty {
+		t.Fatal("fresh entry should be empty")
+	}
+	tab.Set(addr, 7)
+	if !tab.CheckOwner(addr, 7) {
+		t.Fatal("owner check failed")
+	}
+	tab.Set(addr, 9)
+	if tab.CheckOwner(addr, 7) {
+		t.Fatal("stale owner must not pass: this is the store-test")
+	}
+	if !tab.CheckOwner(addr, 9) {
+		t.Fatal("new owner check failed")
+	}
+}
+
+func TestIndexAliasing(t *testing.T) {
+	tab := newTable(t, 10) // covers 4 KiB of word addresses before aliasing
+	a := uint32(0x1000)
+	b := a + uint32(tab.Len())*4 // exactly one table-span away: must collide
+	if !tab.Collides(a, b) {
+		t.Fatalf("addresses %#x and %#x should collide", a, b)
+	}
+	c := a + 4
+	if tab.Collides(a, c) {
+		t.Fatal("adjacent words should not collide")
+	}
+	if tab.Collides(a, a) {
+		t.Fatal("an address does not collide with itself")
+	}
+	// A colliding store by another thread breaks the owner check — the
+	// paper's benign spurious SC failure.
+	tab.Set(a, 1)
+	tab.Set(b, 2)
+	if tab.CheckOwner(a, 1) {
+		t.Fatal("colliding store must break ownership")
+	}
+}
+
+func TestQuickIndexInRangeAndWordStable(t *testing.T) {
+	tab := newTable(t, 12)
+	f := func(addr uint32) bool {
+		idx := tab.Index(addr)
+		if int(idx) >= tab.Len() {
+			return false
+		}
+		// All byte addresses within one word map to the same entry.
+		return tab.Index(addr&^3) == tab.Index(addr&^3|3)&^0 || true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSameWordSameEntry(t *testing.T) {
+	tab := newTable(t, 12)
+	f := func(wordAddr uint32) bool {
+		base := wordAddr &^ 3
+		idx := tab.Index(base)
+		for o := uint32(1); o < 4; o++ {
+			if tab.Index(base|o) != idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	tab := newTable(t, 10)
+	const addr = 0x40
+	tab.Set(addr, 3)
+	if !tab.Lock(addr, 3) {
+		t.Fatal("lock by owner should succeed")
+	}
+	if !tab.Locked(addr) {
+		t.Fatal("entry should be locked")
+	}
+	if tab.Lock(addr, 3) {
+		t.Fatal("double lock should fail")
+	}
+	tab.Unlock(addr, 3)
+	if tab.Locked(addr) {
+		t.Fatal("entry should be unlocked")
+	}
+	if tab.Get(addr) != Empty {
+		t.Fatal("unlock should clear the entry")
+	}
+}
+
+func TestLockFailsAfterSteal(t *testing.T) {
+	tab := newTable(t, 10)
+	const addr = 0x40
+	tab.Set(addr, 3)
+	tab.Set(addr, 5) // another thread's LL or store stole the entry
+	if tab.Lock(addr, 3) {
+		t.Fatal("lock with stale tid must fail — the HST-WEAK SC test")
+	}
+}
+
+func TestUnlockRespectsOverwrite(t *testing.T) {
+	tab := newTable(t, 10)
+	const addr = 0x40
+	tab.Set(addr, 3)
+	if !tab.Lock(addr, 3) {
+		t.Fatal("lock failed")
+	}
+	// A racing LL overwrites the locked entry (allowed: single-word table).
+	tab.Set(addr, 8)
+	tab.Unlock(addr, 3) // must NOT clobber thread 8's claim
+	if got := tab.Get(addr); got != 8 {
+		t.Fatalf("unlock clobbered racing claim: entry = %d, want 8", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	tab := newTable(t, 8)
+	for a := uint32(0); a < 64; a += 4 {
+		tab.Set(a, a+1)
+	}
+	tab.Clear()
+	for a := uint32(0); a < 64; a += 4 {
+		if tab.Get(a) != Empty {
+			t.Fatalf("entry %#x not cleared", a)
+		}
+	}
+}
+
+// TestConcurrentOwnershipRace: concurrent Set/CheckOwner sequences never
+// observe a tid that was never written — entries hold exactly what some
+// thread stored (single-word atomicity).
+func TestConcurrentOwnershipRace(t *testing.T) {
+	tab := newTable(t, 10)
+	const addr = 0x80
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := uint32(1); g <= goroutines; g++ {
+		wg.Add(1)
+		go func(tid uint32) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tab.Set(addr, tid)
+				got := tab.Get(addr)
+				if got == Empty || got > goroutines {
+					t.Errorf("observed impossible entry %d", got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentLockMutualExclusion: only one thread can hold an entry lock
+// at a time; the lock-protected counter must not lose updates.
+func TestConcurrentLockMutualExclusion(t *testing.T) {
+	tab := newTable(t, 10)
+	const addr = 0xc0
+	counter := 0
+	const goroutines = 4
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := uint32(1); g <= goroutines; g++ {
+		wg.Add(1)
+		go func(tid uint32) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for {
+					tab.SetWait(addr, tid)
+					if tab.Lock(addr, tid) {
+						break
+					}
+				}
+				counter++ // protected by the entry lock
+				tab.Unlock(addr, tid)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("counter = %d, want %d — entry lock is not mutually exclusive", counter, goroutines*perG)
+	}
+}

@@ -1,0 +1,464 @@
+package htm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// memStore is a trivial backing memory for tests.
+type memStore struct {
+	mu sync.Mutex
+	m  map[uint32]uint32
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[uint32]uint32)} }
+
+func (s *memStore) load(addr uint32) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[addr], nil
+}
+
+func (s *memStore) store(addr, val uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[addr] = val
+	return nil
+}
+
+func newTM(t *testing.T) *TM {
+	t.Helper()
+	tm, err := New(12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestCommitPublishesWrites(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	if err := txn.Write(0x100, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Write must not be visible before commit.
+	if v, _ := mem.load(0x100); v != 0 {
+		t.Fatalf("write leaked before commit: %d", v)
+	}
+	if err := txn.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mem.load(0x100); v != 42 {
+		t.Fatalf("after commit: %d", v)
+	}
+	if !txn.Done() {
+		t.Error("txn should be done")
+	}
+	if tm.Active() {
+		t.Error("no txn should be active after commit")
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	mem.store(0x100, 7)
+	txn := tm.Begin(mem.load)
+	v, err := txn.Read(0x100)
+	if err != nil || v != 7 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	if err := txn.Write(0x100, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, err = txn.Read(0x100)
+	if err != nil || v != 8 {
+		t.Fatalf("read-own-write = %d, %v", v, err)
+	}
+	if err := txn.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteWriteConflictAborts(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	t1 := tm.Begin(mem.load)
+	t2 := tm.Begin(mem.load)
+	if err := t1.Write(0x100, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := t2.Write(0x100, 2)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonConflict {
+		t.Fatalf("expected conflict abort, got %v", err)
+	}
+	if !t2.Done() {
+		t.Error("aborted txn should be done")
+	}
+	if err := t1.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mem.load(0x100); v != 1 {
+		t.Fatalf("winner's write lost: %d", v)
+	}
+}
+
+func TestReadInvalidatedByCommittedWriter(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	reader := tm.Begin(mem.load)
+	if _, err := reader.Read(0x200); err != nil {
+		t.Fatal(err)
+	}
+	writer := tm.Begin(mem.load)
+	if err := writer.Write(0x200, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+	err := reader.Commit(mem.store)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonConflict {
+		t.Fatalf("reader must abort after writer committed, got %v", err)
+	}
+}
+
+func TestReadLockedSlotAborts(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	writer := tm.Begin(mem.load)
+	if err := writer.Write(0x300, 5); err != nil {
+		t.Fatal(err)
+	}
+	reader := tm.Begin(mem.load)
+	_, err := reader.Read(0x300)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonConflict {
+		t.Fatalf("read of locked slot should abort, got %v", err)
+	}
+	writer.AbortNow(ReasonSyscall)
+}
+
+func TestNonTxnStorePoisonsWriter(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	if err := txn.Write(0x400, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A plain store to the same word while the txn holds its lock: the
+	// strong-atomicity case. The txn must not commit.
+	tm.NotifyStore(0x400)
+	err := txn.Commit(mem.store)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonNonTxnStore {
+		t.Fatalf("expected poison abort, got %v", err)
+	}
+}
+
+func TestNonTxnStoreInvalidatesReader(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	if _, err := txn.Read(0x500); err != nil {
+		t.Fatal(err)
+	}
+	tm.NotifyStore(0x500) // version bump
+	err := txn.Commit(mem.store)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonConflict {
+		t.Fatalf("expected conflict abort after plain store, got %v", err)
+	}
+}
+
+func TestNotifyStoreCheapWhenInactive(t *testing.T) {
+	tm := newTM(t)
+	// Must not panic or misbehave with no transactions.
+	tm.NotifyStore(0x100)
+	if tm.Active() {
+		t.Error("Active with no txns")
+	}
+}
+
+func TestCapacityAbort(t *testing.T) {
+	tm, err := New(12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	var last error
+	for i := uint32(0); i < 20; i++ {
+		if last = txn.Write(0x1000+i*4, i); last != nil {
+			break
+		}
+	}
+	var ab *Abort
+	if !errors.As(last, &ab) || ab.Reason != ReasonCapacity {
+		t.Fatalf("expected capacity abort, got %v", last)
+	}
+}
+
+func TestExplicitAbortReleasesLocks(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	t1 := tm.Begin(mem.load)
+	if err := t1.Write(0x600, 1); err != nil {
+		t.Fatal(err)
+	}
+	ab := t1.AbortNow(ReasonEmulation)
+	if ab.Reason != ReasonEmulation {
+		t.Fatalf("reason = %v", ab.Reason)
+	}
+	// The slot must be free for the next transaction.
+	t2 := tm.Begin(mem.load)
+	if err := t2.Write(0x600, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mem.load(0x600); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestUsingDoneTxnFails(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	txn.AbortNow(ReasonSyscall)
+	if _, err := txn.Read(0); err == nil {
+		t.Error("Read on done txn should fail")
+	}
+	if err := txn.Write(0, 1); err == nil {
+		t.Error("Write on done txn should fail")
+	}
+	if err := txn.Commit(mem.store); err == nil {
+		t.Error("Commit on done txn should fail")
+	}
+}
+
+func TestSameTxnMultipleWritesSameSlot(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	// Same address twice: second write re-acquires its own lock.
+	if err := txn.Write(0x700, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(0x700, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mem.load(0x700); v != 2 {
+		t.Fatalf("last write must win: %d", v)
+	}
+}
+
+func TestStoreErrorPropagatesFromCommit(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	txn := tm.Begin(mem.load)
+	if err := txn.Write(0x800, 1); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("page fault")
+	err := txn.Commit(func(addr, val uint32) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected store error, got %v", err)
+	}
+	if !txn.Done() {
+		t.Error("txn must be done after failed commit")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 0); err == nil {
+		t.Error("bits too small should fail")
+	}
+	if _, err := New(30, 0); err == nil {
+		t.Error("bits too large should fail")
+	}
+}
+
+func TestAbortErrorString(t *testing.T) {
+	for _, r := range []AbortReason{ReasonConflict, ReasonCapacity, ReasonNonTxnStore, ReasonEmulation, ReasonSyscall} {
+		ab := &Abort{Reason: r, Addr: 0x42}
+		if ab.Error() == "" || r.String() == "reason?" {
+			t.Errorf("bad formatting for %v", r)
+		}
+	}
+}
+
+// TestConcurrentCounterSerializable: N goroutines increment a counter via
+// transactions with retry; the final value must equal the total number of
+// successful increments (serializability), and every goroutine must finish
+// (no lost wakeups / stuck locks).
+func TestConcurrentCounterSerializable(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	const goroutines = 8
+	const perG = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for {
+					txn := tm.Begin(mem.load)
+					v, err := txn.Read(0x1000)
+					if err != nil {
+						continue
+					}
+					if err := txn.Write(0x1000, v+1); err != nil {
+						continue
+					}
+					if err := txn.Commit(mem.store); err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := mem.load(0x1000)
+	if v != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", v, goroutines*perG)
+	}
+	if tm.Active() {
+		t.Error("transactions leaked")
+	}
+}
+
+// TestQuickDisjointTxnsAllCommit: transactions touching disjoint addresses
+// never abort each other.
+func TestQuickDisjointTxnsAllCommit(t *testing.T) {
+	f := func(seed uint8) bool {
+		tm, err := New(16, 0) // large table: distinct word addrs rarely collide
+		if err != nil {
+			return false
+		}
+		mem := newMemStore()
+		base := uint32(seed) * 0x1000
+		var wg sync.WaitGroup
+		fail := false
+		var mu sync.Mutex
+		for g := uint32(0); g < 4; g++ {
+			wg.Add(1)
+			go func(g uint32) {
+				defer wg.Done()
+				for i := uint32(0); i < 10; i++ {
+					addr := base + g*0x40000 + i*4
+					txn := tm.Begin(mem.load)
+					if err := txn.Write(addr, g+1); err != nil {
+						// A hash collision between disjoint addresses is
+						// possible but should be rare with 2^16 slots;
+						// treat a conflict between disjoint addrs as
+						// retryable, not a failure.
+						i--
+						continue
+					}
+					if err := txn.Commit(mem.store); err != nil {
+						mu.Lock()
+						fail = true
+						mu.Unlock()
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return !fail
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManySequentialTxns(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	for i := 0; i < 1000; i++ {
+		txn := tm.Begin(mem.load)
+		addr := uint32(i%64) * 4
+		v, err := txn.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Write(addr, v+1); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(mem.store); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total uint32
+	for i := uint32(0); i < 64; i++ {
+		v, _ := mem.load(i * 4)
+		total += v
+	}
+	if total != 1000 {
+		t.Fatalf("total increments = %d", total)
+	}
+}
+
+func TestReadAfterColleagueLockSameSlotSelf(t *testing.T) {
+	// Write locks slot for addr A; reading a different address that hashes
+	// to the same slot must not self-abort. Construct collision by using
+	// the slot function indirectly: same address is the simple case; a true
+	// collision is exercised via table size 16.
+	tm, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemStore()
+	mem.store(0x104, 77)
+	txn := tm.Begin(mem.load)
+	if err := txn.Write(0x100, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Find an address colliding with 0x100 in a 16-slot table.
+	collide := uint32(0)
+	for a := uint32(0x104); a < 0x2000; a += 4 {
+		if tm.slot(a) == tm.slot(0x100) && a != 0x100 {
+			collide = a
+			break
+		}
+	}
+	if collide == 0 {
+		t.Skip("no collision found")
+	}
+	mem.store(collide, 123)
+	v, err := txn.Read(collide)
+	if err != nil || v != 123 {
+		t.Fatalf("self-colliding read = %d, %v", v, err)
+	}
+	if err := txn.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleTM() {
+	tm, _ := New(12, 0)
+	mem := map[uint32]uint32{0x40: 10}
+	load := func(a uint32) (uint32, error) { return mem[a], nil }
+	store := func(a, v uint32) error { mem[a] = v; return nil }
+
+	txn := tm.Begin(load)
+	v, _ := txn.Read(0x40)
+	txn.Write(0x40, v*2)
+	if err := txn.Commit(store); err == nil {
+		fmt.Println(mem[0x40])
+	}
+	// Output: 20
+}

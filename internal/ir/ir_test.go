@@ -1,0 +1,333 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"atomemu/internal/arch"
+)
+
+// evalPure interprets a block's pure ALU/move ops over a register file,
+// ignoring memory and terminators. It is the reference semantics used to
+// check that optimizer passes preserve meaning.
+func evalPure(b *Block, regs []uint32) {
+	for _, in := range b.Ops {
+		switch in.Op {
+		case Nop:
+		case MovI:
+			regs[in.D] = in.Imm
+		case Mov:
+			regs[in.D] = regs[in.A]
+		case Not:
+			regs[in.D] = ^regs[in.A]
+		case Add, Sub, And, Or, Xor, Mul, UDiv, SDiv, Shl, Shr, Sar:
+			regs[in.D] = evalALU(in.Op, regs[in.A], regs[in.B])
+		case AddI, SubI, RsbI, AndI, OrI, XorI, ShlI, ShrI, SarI:
+			regs[in.D] = evalALUImm(in.Op, regs[in.A], in.Imm)
+		case ExitJmp, Halt:
+			return
+		default:
+			panic("evalPure: unsupported op " + in.Op.String())
+		}
+	}
+}
+
+var pureOps = []Op{Add, Sub, And, Or, Xor, Mul, UDiv, SDiv, Shl, Shr, Sar}
+var pureImmOps = []Op{AddI, SubI, RsbI, AndI, OrI, XorI, ShlI, ShrI, SarI}
+
+// randomPureBlock builds a random straight-line block over guest registers
+// and a few temps, ending in ExitJmp.
+func randomPureBlock(r *rand.Rand) *Block {
+	b := NewBlock(0x1000)
+	ntemps := r.Intn(6)
+	for i := 0; i < ntemps; i++ {
+		b.Temp()
+	}
+	reg := func() RegID { return RegID(r.Intn(b.NumSlots)) }
+	n := 1 + r.Intn(30)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			b.Emit(Inst{Op: MovI, D: reg(), Imm: r.Uint32() % 1024})
+		case 1:
+			b.Emit(Inst{Op: Mov, D: reg(), A: reg()})
+		case 2:
+			b.Emit(Inst{Op: Not, D: reg(), A: reg()})
+		case 3:
+			b.Emit(Inst{Op: pureOps[r.Intn(len(pureOps))], D: reg(), A: reg(), B: reg()})
+		case 4:
+			b.Emit(Inst{Op: pureImmOps[r.Intn(len(pureImmOps))], D: reg(), A: reg(), Imm: r.Uint32() % 64})
+		}
+	}
+	b.Emit(Inst{Op: ExitJmp, Addr: 0x2000})
+	b.GuestLen = n
+	return b
+}
+
+func cloneBlock(b *Block) *Block {
+	nb := *b
+	nb.Ops = append([]Inst(nil), b.Ops...)
+	return &nb
+}
+
+func TestQuickOptimizePreservesGuestRegs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		b := randomPureBlock(r)
+		opt := cloneBlock(b)
+		Optimize(opt)
+		if err := opt.Verify(); err != nil {
+			t.Logf("optimized block fails verify: %v\n%s", err, opt)
+			return false
+		}
+
+		before := make([]uint32, b.NumSlots)
+		after := make([]uint32, b.NumSlots)
+		for i := range before {
+			v := r.Uint32()
+			before[i], after[i] = v, v
+		}
+		evalPure(b, before)
+		evalPure(opt, after)
+		for g := 0; g < NumGuestRegs; g++ {
+			if before[g] != after[g] {
+				t.Logf("guest reg %d diverged: %#x vs %#x\noriginal:\n%s\noptimized:\n%s",
+					g, before[g], after[g], b, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOptimizeNeverGrows(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	f := func() bool {
+		b := randomPureBlock(r)
+		n := len(b.Ops)
+		Optimize(b)
+		return len(b.Ops) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstFoldChain(t *testing.T) {
+	b := NewBlock(0)
+	t0 := b.Temp()
+	t1 := b.Temp()
+	b.Emit(Inst{Op: MovI, D: t0, Imm: 6})
+	b.Emit(Inst{Op: MovI, D: t1, Imm: 7})
+	b.Emit(Inst{Op: Mul, D: 0, A: t0, B: t1})  // r0 = 42
+	b.Emit(Inst{Op: AddI, D: 1, A: 0, Imm: 8}) // r1 = 50
+	b.Emit(Inst{Op: ExitJmp})
+	Optimize(b)
+	// After folding + DCE: r0 = 42, r1 = 50, exit.
+	if len(b.Ops) != 3 {
+		t.Fatalf("expected 3 ops after optimize, got:\n%s", b)
+	}
+	if b.Ops[0].Op != MovI || b.Ops[0].Imm != 42 || b.Ops[0].D != 0 {
+		t.Errorf("op0 = %s", b.Ops[0])
+	}
+	if b.Ops[1].Op != MovI || b.Ops[1].Imm != 50 || b.Ops[1].D != 1 {
+		t.Errorf("op1 = %s", b.Ops[1])
+	}
+}
+
+func TestConstFoldDivByZero(t *testing.T) {
+	b := NewBlock(0)
+	t0 := b.Temp()
+	b.Emit(Inst{Op: MovI, D: t0, Imm: 0})
+	b.Emit(Inst{Op: UDiv, D: 0, A: 1, B: t0})
+	b.Emit(Inst{Op: ExitJmp})
+	Optimize(b)
+	if b.Ops[0].Op != MovI || b.Ops[0].Imm != 0 || b.Ops[0].D != 0 {
+		t.Fatalf("udiv by zero should fold to 0:\n%s", b)
+	}
+}
+
+func TestConstFoldSDivEdgeCases(t *testing.T) {
+	if got := sdiv(0x80000000, 0xffffffff); got != 0x80000000 {
+		t.Errorf("MinInt32 / -1 = %#x, want 0x80000000", got)
+	}
+	if got := sdiv(7, 0); got != 0 {
+		t.Errorf("7 / 0 = %d, want 0", got)
+	}
+	if got := sdiv(uint32(0xfffffff9), 2); got != uint32(0xfffffffd) {
+		t.Errorf("-7 / 2 = %#x, want -3", got)
+	}
+}
+
+func TestCopyPropEliminatesMovChains(t *testing.T) {
+	b := NewBlock(0)
+	t0 := b.Temp()
+	t1 := b.Temp()
+	b.Emit(Inst{Op: Mov, D: t0, A: 2})        // t0 = r2
+	b.Emit(Inst{Op: Mov, D: t1, A: t0})       // t1 = t0
+	b.Emit(Inst{Op: Add, D: 0, A: t1, B: t1}) // r0 = t1 + t1
+	b.Emit(Inst{Op: ExitJmp})
+	Optimize(b)
+	// The adds should read r2 directly and the movs be dead.
+	if len(b.Ops) != 2 {
+		t.Fatalf("expected add+exit, got:\n%s", b)
+	}
+	if b.Ops[0].Op != Add || b.Ops[0].A != 2 || b.Ops[0].B != 2 {
+		t.Errorf("add operands not propagated: %s", b.Ops[0])
+	}
+}
+
+func TestCopyPropInvalidationOnRedefine(t *testing.T) {
+	b := NewBlock(0)
+	t0 := b.Temp()
+	b.Emit(Inst{Op: Mov, D: t0, A: 1})         // t0 = r1
+	b.Emit(Inst{Op: AddI, D: 1, A: 1, Imm: 1}) // r1 changes
+	b.Emit(Inst{Op: Mov, D: 0, A: t0})         // r0 must get OLD r1
+	b.Emit(Inst{Op: ExitJmp})
+	orig := cloneBlock(b)
+	Optimize(b)
+	regsA := make([]uint32, b.NumSlots)
+	regsB := make([]uint32, b.NumSlots)
+	regsA[1], regsB[1] = 10, 10
+	evalPure(orig, regsA)
+	evalPure(b, regsB)
+	if regsA[0] != regsB[0] || regsB[0] != 10 {
+		t.Fatalf("copy-prop broke redefinition: orig r0=%d opt r0=%d\n%s", regsA[0], regsB[0], b)
+	}
+}
+
+func TestDeadCodeKeepsSideEffects(t *testing.T) {
+	b := NewBlock(0)
+	tAddr := b.Temp()
+	tVal := b.Temp()
+	tDead := b.Temp()
+	b.Emit(Inst{Op: MovI, D: tAddr, Imm: 0x1000})
+	b.Emit(Inst{Op: LL, D: tDead, A: tAddr})            // result dead but LL has effects
+	b.Emit(Inst{Op: InstrStore, A: tAddr, B: tVal})     // store always kept
+	b.Emit(Inst{Op: Load, D: tDead, A: tAddr})          // load can fault: kept
+	b.Emit(Inst{Op: FlagsSubI, D: tDead, A: 0, Imm: 1}) // writes flags: kept
+	b.Emit(Inst{Op: ExitJmp})
+	Optimize(b)
+	var kinds []string
+	for _, in := range b.Ops {
+		kinds = append(kinds, in.Op.String())
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"ll", "st32.instr", "ld32", "flags.subi"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("DCE dropped side-effecting op %q: %s", want, joined)
+		}
+	}
+}
+
+func TestDeadCodeRemovesDeadTemps(t *testing.T) {
+	b := NewBlock(0)
+	t0 := b.Temp()
+	b.Emit(Inst{Op: MovI, D: t0, Imm: 5}) // dead: t0 never used
+	b.Emit(Inst{Op: MovI, D: 0, Imm: 9})
+	b.Emit(Inst{Op: ExitJmp})
+	Optimize(b)
+	if len(b.Ops) != 2 {
+		t.Fatalf("dead temp not removed:\n%s", b)
+	}
+}
+
+func TestDeadCodeKeepsGuestRegs(t *testing.T) {
+	b := NewBlock(0)
+	b.Emit(Inst{Op: MovI, D: 5, Imm: 123}) // guest r5: live-out, must stay
+	b.Emit(Inst{Op: ExitJmp})
+	Optimize(b)
+	if len(b.Ops) != 2 || b.Ops[0].Op != MovI || b.Ops[0].D != 5 {
+		t.Fatalf("guest register write removed:\n%s", b)
+	}
+}
+
+func TestVerifyCatchesBadBlocks(t *testing.T) {
+	mk := func(f func(b *Block)) *Block {
+		b := NewBlock(0)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		b    *Block
+	}{
+		{"empty", mk(func(b *Block) {})},
+		{"no terminator", mk(func(b *Block) { b.Emit(Inst{Op: MovI, D: 0}) })},
+		{"terminator mid-block", mk(func(b *Block) {
+			b.Emit(Inst{Op: ExitJmp})
+			b.Emit(Inst{Op: MovI, D: 0})
+			b.Emit(Inst{Op: ExitJmp})
+		})},
+		{"reg out of range", mk(func(b *Block) {
+			b.Emit(Inst{Op: MovI, D: 99})
+			b.Emit(Inst{Op: ExitJmp})
+		})},
+		{"src out of range", mk(func(b *Block) {
+			b.Emit(Inst{Op: Mov, D: 0, A: -1})
+			b.Emit(Inst{Op: ExitJmp})
+		})},
+		{"bad cond", mk(func(b *Block) {
+			b.Emit(Inst{Op: ExitCond, Cond: arch.NumConds})
+		})},
+	}
+	for _, c := range cases {
+		if err := c.b.Verify(); err == nil {
+			t.Errorf("%s: Verify should fail", c.name)
+		}
+	}
+}
+
+func TestVerifyAcceptsGoodBlock(t *testing.T) {
+	b := NewBlock(0x100)
+	tv := b.Temp()
+	b.Emit(Inst{Op: MovI, D: tv, Imm: 1})
+	b.Emit(Inst{Op: FlagsSubI, D: b.Temp(), A: 0, Imm: 1})
+	b.Emit(Inst{Op: ExitCond, Cond: arch.NE, Addr: 0x100, Addr2: 0x104})
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIDString(t *testing.T) {
+	if RegID(0).String() != "r0" || RegID(13).String() != "sp" || RegID(16).String() != "t0" {
+		t.Errorf("RegID strings: %s %s %s", RegID(0), RegID(13), RegID(16))
+	}
+}
+
+func TestBlockStringRenders(t *testing.T) {
+	b := NewBlock(0x40)
+	b.GuestLen = 1
+	b.Emit(Inst{Op: MovI, D: 0, Imm: 7})
+	b.Emit(Inst{Op: ExitJmp, Addr: 0x44})
+	s := b.String()
+	for _, want := range []string{"block 0x40", "r0 = 0x7", "exit -> 0x44"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Block.String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstStringCoverage(t *testing.T) {
+	insts := []Inst{
+		{Op: Nop}, {Op: MovI, D: 0, Imm: 1}, {Op: Mov, D: 0, A: 1},
+		{Op: Not, D: 0, A: 1}, {Op: Add, D: 0, A: 1, B: 2},
+		{Op: AddI, D: 0, A: 1, Imm: 4}, {Op: FlagsNZ, A: 3},
+		{Op: Load, D: 0, A: 1, Imm: 8}, {Op: Store, A: 1, B: 2},
+		{Op: InstrStore, A: 1, B: 2}, {Op: LL, D: 0, A: 1},
+		{Op: SC, D: 0, A: 1, B: 2}, {Op: Clrex}, {Op: Fence},
+		{Op: ExitJmp, Addr: 4}, {Op: ExitCond, Cond: arch.EQ, Addr: 4, Addr2: 8},
+		{Op: ExitInd, A: 14}, {Op: Syscall, Imm: 1, Addr: 8},
+		{Op: Halt}, {Op: YieldOp, Addr: 12},
+	}
+	for _, in := range insts {
+		if in.String() == "" {
+			t.Errorf("empty String for op %s", in.Op)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package litmus deterministically replays the paper's §IV-A interleavings
+// (Seq1–Seq4 plus the definitional weak/strong sequences) against every
+// emulation scheme and classifies the atomicity each scheme actually
+// enforces — measured, not asserted.
+//
+// Each sequence is a global order of LL/SC/store events from two guest
+// threads on one synchronization variable. The harness compiles a per-thread
+// GA32 program, runs the machine in step mode (one guest instruction per
+// translation block) and advances exactly one thread at a time until its
+// next event's architectural effect is visible in the vCPU counters, giving
+// a fully deterministic interleaving.
+package litmus
+
+import (
+	"fmt"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+	"atomemu/internal/core"
+	"atomemu/internal/engine"
+)
+
+// OpKind is a litmus event kind.
+type OpKind uint8
+
+// Event kinds.
+const (
+	OpLL OpKind = iota
+	OpSC
+	OpStore
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLL:
+		return "LL"
+	case OpSC:
+		return "SC"
+	case OpStore:
+		return "S"
+	}
+	return "?"
+}
+
+// Event is one step of the global interleaving: thread T performs Op
+// (with value Val for SC and stores) on the shared variable.
+type Event struct {
+	T   int
+	Op  OpKind
+	Val uint32
+}
+
+// Sequence is a named interleaving with the initial value of x.
+type Sequence struct {
+	Name   string
+	Init   uint32
+	Events []Event
+	// Expect maps an atomicity level to whether the *final SC* (the last
+	// SC of thread 0, the paper's SC_a) must succeed under it.
+	Expect map[core.Atomicity]bool
+}
+
+// Values used across the standard sequences: c is the initial value, d an
+// intermediate one.
+const (
+	valC = 0x10
+	valD = 0x20
+	valF = 0x77 // the final SC_a's attempted value
+)
+
+// StandardSequences returns the paper's §IV-A sequences with their expected
+// outcomes per atomicity level (true = SC_a succeeds).
+func StandardSequences() []Sequence {
+	return []Sequence{
+		{
+			// Seq1: LLa(c) → Sb(d) → Sb(c) → SCa.
+			// Plain stores restore the value: only strong atomicity fails it.
+			Name: "Seq1", Init: valC,
+			Events: []Event{
+				{0, OpLL, 0}, {1, OpStore, valD}, {1, OpStore, valC}, {0, OpSC, valF},
+			},
+			Expect: map[core.Atomicity]bool{
+				core.AtomicityStrong: false, core.AtomicityWeak: true, core.AtomicityIncorrect: true,
+			},
+		},
+		{
+			// Seq2: LLa(c) → LLb(c) → SCb(d) → LLb(d) → SCb(c) → SCa.
+			// The ABA dance via SCs: weak atomicity must catch it;
+			// PICO-CAS sees value c and succeeds — the ABA problem.
+			Name: "Seq2", Init: valC,
+			Events: []Event{
+				{0, OpLL, 0}, {1, OpLL, 0}, {1, OpSC, valD},
+				{1, OpLL, 0}, {1, OpSC, valC}, {0, OpSC, valF},
+			},
+			Expect: map[core.Atomicity]bool{
+				core.AtomicityStrong: false, core.AtomicityWeak: false, core.AtomicityIncorrect: true,
+			},
+		},
+		{
+			// Seq3: LLa(c) → LLb(c) → SCb(d) → Sb(c) → SCa.
+			Name: "Seq3", Init: valC,
+			Events: []Event{
+				{0, OpLL, 0}, {1, OpLL, 0}, {1, OpSC, valD}, {1, OpStore, valC}, {0, OpSC, valF},
+			},
+			Expect: map[core.Atomicity]bool{
+				core.AtomicityStrong: false, core.AtomicityWeak: false, core.AtomicityIncorrect: true,
+			},
+		},
+		{
+			// Seq4: LLa(c) → Sb(d) → LLb(d) → SCb(c) → SCa.
+			Name: "Seq4", Init: valC,
+			Events: []Event{
+				{0, OpLL, 0}, {1, OpStore, valD}, {1, OpLL, 0}, {1, OpSC, valC}, {0, OpSC, valF},
+			},
+			Expect: map[core.Atomicity]bool{
+				core.AtomicityStrong: false, core.AtomicityWeak: false, core.AtomicityIncorrect: true,
+			},
+		},
+		{
+			// WeakDef: LLa(c) → LLb(c) → SCb(d) → SCa.
+			// The definitional weak-atomicity failure; even PICO-CAS fails
+			// it because the value actually changed.
+			Name: "WeakDef", Init: valC,
+			Events: []Event{
+				{0, OpLL, 0}, {1, OpLL, 0}, {1, OpSC, valD}, {0, OpSC, valF},
+			},
+			Expect: map[core.Atomicity]bool{
+				core.AtomicityStrong: false, core.AtomicityWeak: false, core.AtomicityIncorrect: false,
+			},
+		},
+		{
+			// StrongDef: LLa(c) → Sb(c) → SCa.
+			// A same-value plain store: only strong atomicity detects it.
+			Name: "StrongDef", Init: valC,
+			Events: []Event{
+				{0, OpLL, 0}, {1, OpStore, valC}, {0, OpSC, valF},
+			},
+			Expect: map[core.Atomicity]bool{
+				core.AtomicityStrong: false, core.AtomicityWeak: true, core.AtomicityIncorrect: true,
+			},
+		},
+	}
+}
+
+// SCOutcome records one SC event's result.
+type SCOutcome struct {
+	EventIndex int
+	Thread     int
+	Success    bool
+}
+
+// Result is the outcome of replaying one sequence under one scheme.
+type Result struct {
+	Sequence string
+	Scheme   string
+	// SCs holds every SC event's outcome, in event order.
+	SCs []SCOutcome
+	// FinalSCSuccess is the outcome of the last SC of thread 0 (SC_a).
+	FinalSCSuccess bool
+	// FinalValue is x's value after all threads halted.
+	FinalValue uint32
+}
+
+// numThreads returns 1 + the highest thread index used.
+func (s *Sequence) numThreads() int {
+	n := 0
+	for _, ev := range s.Events {
+		if ev.T+1 > n {
+			n = ev.T + 1
+		}
+	}
+	return n
+}
+
+// buildProgram compiles each thread's event subsequence. Register use per
+// snippet: r0 = &x, r1 = LL result, r2 = store/SC value, r3 = SC status.
+func buildProgram(seq *Sequence) (*asm.Image, []uint32, error) {
+	n := seq.numThreads()
+	b := asm.NewBuilder(0x10000)
+	entries := make([]string, n)
+	for t := 0; t < n; t++ {
+		entry := fmt.Sprintf("thread%d", t)
+		entries[t] = entry
+		b.Label(entry)
+		for _, ev := range seq.Events {
+			if ev.T != t {
+				continue
+			}
+			b.LoadAddr(arch.R0, "x")
+			switch ev.Op {
+			case OpLL:
+				b.Ldrex(arch.R1, arch.R0)
+			case OpSC:
+				b.MovImm32(arch.R2, ev.Val)
+				b.Strex(arch.R3, arch.R2, arch.R0)
+			case OpStore:
+				b.MovImm32(arch.R2, ev.Val)
+				b.Str(arch.R2, arch.R0, 0)
+			}
+		}
+		b.MovI(arch.R0, 0)
+		b.Svc(1)
+	}
+	b.AlignWords(2)
+	b.Label("x")
+	b.Word(seq.Init)
+	im, err := b.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := make([]uint32, n)
+	for t := range entries {
+		addrs[t] = im.MustSymbol(entries[t])
+	}
+	return im, addrs, nil
+}
+
+// Run replays the sequence under the named scheme with a deterministic
+// interleaving and reports every SC outcome.
+func Run(schemeName string, seq Sequence) (*Result, error) {
+	im, entries, err := buildProgram(&seq)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.DefaultConfig(schemeName)
+	cfg.StepMode = true
+	cfg.MaxGuestInstrs = 1_000_000
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadImage(im); err != nil {
+		return nil, err
+	}
+	cpus := make([]*engine.CPU, len(entries))
+	for t, entry := range entries {
+		c, err := m.Start(entry)
+		if err != nil {
+			return nil, err
+		}
+		cpus[t] = c
+	}
+
+	res := &Result{Sequence: seq.Name, Scheme: schemeName}
+	for i, ev := range seq.Events {
+		c := cpus[ev.T]
+		if err := stepUntilEvent(c, ev.Op); err != nil {
+			return nil, fmt.Errorf("litmus: %s under %s, event %d (%s by T%d): %w",
+				seq.Name, schemeName, i, ev.Op, ev.T, err)
+		}
+		if ev.Op == OpSC {
+			out := SCOutcome{EventIndex: i, Thread: ev.T, Success: c.Reg(arch.R3) == 0}
+			res.SCs = append(res.SCs, out)
+			if ev.T == 0 {
+				res.FinalSCSuccess = out.Success
+			}
+		}
+	}
+	// Drain every thread to its exit.
+	for t, c := range cpus {
+		for !c.Halted() {
+			if _, err := c.Step(); err != nil {
+				return nil, fmt.Errorf("litmus: draining thread %d: %w", t, err)
+			}
+		}
+	}
+	v, f := m.Mem().ReadWordPriv(im.MustSymbol("x"))
+	if f != nil {
+		return nil, f
+	}
+	res.FinalValue = v
+	return res, nil
+}
+
+// stepUntilEvent advances one vCPU until the architectural effect of the
+// given operation kind lands (observed via the vCPU's counters).
+func stepUntilEvent(c *engine.CPU, kind OpKind) error {
+	before := counterFor(c, kind)
+	for steps := 0; ; steps++ {
+		if steps > 10_000 {
+			return fmt.Errorf("event did not complete within 10k steps")
+		}
+		if c.Halted() {
+			return fmt.Errorf("thread halted before its event (err=%v)", c.Err())
+		}
+		if _, err := c.Step(); err != nil {
+			return err
+		}
+		if counterFor(c, kind) > before {
+			return nil
+		}
+	}
+}
+
+func counterFor(c *engine.CPU, kind OpKind) uint64 {
+	st := c.VStats()
+	switch kind {
+	case OpLL:
+		return st.LLs
+	case OpSC:
+		return st.SCs
+	case OpStore:
+		return st.Stores
+	}
+	return 0
+}
+
+// Classify derives the atomicity level a scheme actually enforces from its
+// observed litmus results: strong if it fails the same-value plain-store
+// test, weak if it at least fails the SC-dance tests, incorrect otherwise.
+func Classify(results map[string]*Result) core.Atomicity {
+	strongDef, okS := results["StrongDef"]
+	seq2, ok2 := results["Seq2"]
+	if okS && !strongDef.FinalSCSuccess {
+		return core.AtomicityStrong
+	}
+	if ok2 && !seq2.FinalSCSuccess {
+		return core.AtomicityWeak
+	}
+	return core.AtomicityIncorrect
+}
+
+// RunAll replays every standard sequence under a scheme.
+func RunAll(schemeName string) (map[string]*Result, error) {
+	out := make(map[string]*Result)
+	for _, seq := range StandardSequences() {
+		r, err := Run(schemeName, seq)
+		if err != nil {
+			return nil, err
+		}
+		out[seq.Name] = r
+	}
+	return out, nil
+}

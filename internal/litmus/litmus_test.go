@@ -1,0 +1,124 @@
+package litmus
+
+import (
+	"testing"
+
+	"atomemu/internal/core"
+)
+
+// schemeAtomicity is the paper's Table II claim per scheme.
+var schemeAtomicity = map[string]core.Atomicity{
+	"pico-cas":  core.AtomicityIncorrect,
+	"pico-st":   core.AtomicityStrong,
+	"pico-htm":  core.AtomicityStrong,
+	"hst":       core.AtomicityStrong,
+	"hst-weak":  core.AtomicityWeak,
+	"hst-htm":   core.AtomicityStrong,
+	"pst":       core.AtomicityStrong,
+	"pst-remap": core.AtomicityStrong,
+	"pst-mpk":   core.AtomicityStrong,
+}
+
+// TestSequencesMatchExpectationPerScheme replays every §IV-A sequence under
+// every scheme and checks the final SC outcome against the paper's analysis
+// for that scheme's atomicity level.
+func TestSequencesMatchExpectationPerScheme(t *testing.T) {
+	for scheme, atom := range schemeAtomicity {
+		for _, seq := range StandardSequences() {
+			t.Run(scheme+"/"+seq.Name, func(t *testing.T) {
+				res, err := Run(scheme, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := seq.Expect[atom]
+				if res.FinalSCSuccess != want {
+					t.Fatalf("%s under %s (%v): SC_a success = %v, want %v",
+						seq.Name, scheme, atom, res.FinalSCSuccess, want)
+				}
+				// Memory consistency: when SC_a succeeded the final value
+				// is its value; the intervening thread has halted either way.
+				if res.FinalSCSuccess && res.FinalValue != valF {
+					t.Errorf("SC_a succeeded but x = %#x, want %#x", res.FinalValue, valF)
+				}
+				if !res.FinalSCSuccess && res.FinalValue == valF {
+					t.Errorf("SC_a failed but x = %#x (its value leaked)", res.FinalValue)
+				}
+			})
+		}
+	}
+}
+
+// TestClassificationMatchesTableII: the measured atomicity classification
+// must equal each scheme's claim — the paper's Table II, regenerated.
+func TestClassificationMatchesTableII(t *testing.T) {
+	for scheme, want := range schemeAtomicity {
+		t.Run(scheme, func(t *testing.T) {
+			results, err := RunAll(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Classify(results); got != want {
+				t.Fatalf("measured atomicity of %s = %v, want %v", scheme, got, want)
+			}
+		})
+	}
+}
+
+// TestIntermediateSCsSucceed: thread b's SCs inside the dances are
+// uncontended at their point in the interleaving and must succeed for the
+// sequence to mean anything.
+func TestIntermediateSCsSucceed(t *testing.T) {
+	for _, scheme := range []string{"pico-cas", "hst", "hst-weak", "pst"} {
+		res, err := Run(scheme, StandardSequences()[1]) // Seq2
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range res.SCs {
+			if sc.Thread == 1 && !sc.Success {
+				t.Errorf("%s: T1's SC at event %d failed — the dance broke down", scheme, sc.EventIndex)
+			}
+		}
+	}
+}
+
+// TestSeq2ExposesABAOnPicoCASOnly is the headline single-fact check.
+func TestSeq2ExposesABAOnPicoCASOnly(t *testing.T) {
+	for scheme := range schemeAtomicity {
+		res, err := Run(scheme, StandardSequences()[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scheme == "pico-cas" {
+			if !res.FinalSCSuccess {
+				t.Errorf("pico-cas must be fooled by the ABA dance")
+			}
+		} else if res.FinalSCSuccess {
+			t.Errorf("%s was fooled by the ABA dance", scheme)
+		}
+	}
+}
+
+func TestSequenceValueTrailing(t *testing.T) {
+	// After Seq2 under a correct scheme: SC_a failed, so x holds thread
+	// b's last SC value (valC).
+	res, err := Run("hst", StandardSequences()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalValue != valC {
+		t.Fatalf("x = %#x, want %#x", res.FinalValue, valC)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpLL.String() != "LL" || OpSC.String() != "SC" || OpStore.String() != "S" {
+		t.Error("OpKind strings")
+	}
+}
+
+func TestClassifyFallbacks(t *testing.T) {
+	// Missing results default to incorrect.
+	if got := Classify(map[string]*Result{}); got != core.AtomicityIncorrect {
+		t.Errorf("empty classification = %v", got)
+	}
+}

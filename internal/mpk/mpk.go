@@ -1,0 +1,112 @@
+// Package mpk is a software model of Intel Memory Protection Keys, the
+// hardware the paper's §VI discussion proposes for a faster PST: pages are
+// tagged with one of 16 protection keys, and write permission per key is a
+// thread-local register (PKRU) flipped by an unprivileged instruction —
+// no kernel entry, no page-table update, no TLB shootdown.
+//
+// The model keeps the two properties the pst-mpk scheme depends on:
+// a per-page key tag readable on every store (hardware does this for free
+// in the TLB; here it is one atomic load), and a hard limit of 16 keys,
+// which is exactly the scalability ceiling the paper's discussion predicts.
+package mpk
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// NumKeys is the architectural number of protection keys. Key 0 is the
+// default key: always writable, never allocated.
+const NumKeys = 16
+
+// Unit is one machine's protection-key state.
+type Unit struct {
+	// dir maps guest pages to key+1 (0 = untagged), two-level like a TLB.
+	dir [1 << 10]atomic.Pointer[keyLeaf]
+
+	mu   sync.Mutex
+	free []uint8 // allocatable keys (1..15)
+}
+
+type keyLeaf struct {
+	keys [1 << 10]atomic.Uint32
+}
+
+// New creates a Unit with all 15 allocatable keys free.
+func New() *Unit {
+	u := &Unit{}
+	for k := uint8(1); k < NumKeys; k++ {
+		u.free = append(u.free, k)
+	}
+	return u
+}
+
+// AllocKey takes a key from the pool; ok is false when all 15 are in use —
+// the fallback point the paper's discussion warns about.
+func (u *Unit) AllocKey() (uint8, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	n := len(u.free)
+	if n == 0 {
+		return 0, false
+	}
+	k := u.free[n-1]
+	u.free = u.free[:n-1]
+	return k, true
+}
+
+// FreeKey returns a key to the pool.
+func (u *Unit) FreeKey(k uint8) {
+	if k == 0 || k >= NumKeys {
+		return
+	}
+	u.mu.Lock()
+	u.free = append(u.free, k)
+	u.mu.Unlock()
+}
+
+// FreeKeys reports how many keys remain allocatable.
+func (u *Unit) FreeKeys() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.free)
+}
+
+func (u *Unit) leafFor(page uint32, create bool) *keyLeaf {
+	idx := page >> 22
+	l := u.dir[idx].Load()
+	if l == nil && create {
+		l = new(keyLeaf)
+		if !u.dir[idx].CompareAndSwap(nil, l) {
+			l = u.dir[idx].Load()
+		}
+	}
+	return l
+}
+
+// TagPage assigns a key to the page containing addr.
+func (u *Unit) TagPage(page uint32, key uint8) {
+	u.leafFor(page, true).keys[page>>12&0x3ff].Store(uint32(key) + 1)
+}
+
+// UntagPage clears the page's key.
+func (u *Unit) UntagPage(page uint32) {
+	if l := u.leafFor(page, false); l != nil {
+		l.keys[page>>12&0x3ff].Store(0)
+	}
+}
+
+// KeyOf returns the key tagged on addr's page, or 0 for untagged pages.
+// This is the store fast path: one (usually nil) pointer load plus one
+// atomic load, the software stand-in for the hardware's free TLB check.
+func (u *Unit) KeyOf(addr uint32) uint8 {
+	l := u.dir[addr>>22].Load()
+	if l == nil {
+		return 0
+	}
+	v := l.keys[addr>>12&0x3ff].Load()
+	if v == 0 {
+		return 0
+	}
+	return uint8(v - 1)
+}

@@ -1,0 +1,109 @@
+package mpk
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyPoolExhaustion(t *testing.T) {
+	u := New()
+	if u.FreeKeys() != 15 {
+		t.Fatalf("fresh unit has %d keys, want 15", u.FreeKeys())
+	}
+	var keys []uint8
+	for {
+		k, ok := u.AllocKey()
+		if !ok {
+			break
+		}
+		if k == 0 || k >= NumKeys {
+			t.Fatalf("allocated invalid key %d", k)
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) != 15 {
+		t.Fatalf("allocated %d keys, want 15", len(keys))
+	}
+	seen := map[uint8]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("key %d allocated twice", k)
+		}
+		seen[k] = true
+	}
+	// Free one, get it back.
+	u.FreeKey(keys[7])
+	k, ok := u.AllocKey()
+	if !ok || k != keys[7] {
+		t.Fatalf("freed key not reallocated: %d, %v", k, ok)
+	}
+}
+
+func TestFreeKeyIgnoresInvalid(t *testing.T) {
+	u := New()
+	u.FreeKey(0)
+	u.FreeKey(200)
+	if u.FreeKeys() != 15 {
+		t.Fatalf("invalid FreeKey changed the pool: %d", u.FreeKeys())
+	}
+}
+
+func TestTagUntagKeyOf(t *testing.T) {
+	u := New()
+	const page = 0x2000_3000
+	if u.KeyOf(page+0x123) != 0 {
+		t.Fatal("untagged page should report key 0")
+	}
+	u.TagPage(page, 5)
+	if got := u.KeyOf(page + 0xffc); got != 5 {
+		t.Fatalf("KeyOf = %d, want 5", got)
+	}
+	// Addresses on neighbouring pages are unaffected.
+	if u.KeyOf(page-4) != 0 || u.KeyOf(page+0x1000) != 0 {
+		t.Fatal("tag leaked to neighbouring pages")
+	}
+	u.UntagPage(page)
+	if u.KeyOf(page) != 0 {
+		t.Fatal("untag did not clear the key")
+	}
+}
+
+func TestUntagUnknownPageHarmless(t *testing.T) {
+	u := New()
+	u.UntagPage(0x7fff_f000) // never tagged; must not panic or allocate
+}
+
+func TestQuickTagIsPageGranular(t *testing.T) {
+	u := New()
+	f := func(pageBits uint16, off uint16) bool {
+		page := uint32(pageBits) << 12
+		u.TagPage(page, 3)
+		ok := u.KeyOf(page+uint32(off)%4096) == 3
+		u.UntagPage(page)
+		return ok && u.KeyOf(page) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	u := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if k, ok := u.AllocKey(); ok {
+					u.FreeKey(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if u.FreeKeys() != 15 {
+		t.Fatalf("pool leaked: %d keys free, want 15", u.FreeKeys())
+	}
+}

@@ -1,0 +1,118 @@
+// Package stats collects the profiling counters behind the paper's
+// evaluation: instruction censuses (Table I), time-breakdown components
+// (Fig. 12) and event rates (hash conflicts, false sharing, HTM aborts).
+//
+// A CPU value is written by exactly one vCPU goroutine; cross-thread readers
+// must only inspect it after the machine has quiesced (or accept torn but
+// monotonic counter reads — all fields are plain uint64 counters).
+package stats
+
+import "fmt"
+
+// Component classifies where virtual time is spent, matching the stacked
+// bars of the paper's Figure 12.
+type Component uint8
+
+// Time components.
+const (
+	CompNative     Component = iota // basic emulation work
+	CompExclusive                   // start/end_exclusive and waiting on it
+	CompInstrument                  // store/LL/SC instrumentation
+	CompMProtect                    // protection syscalls and page faults
+	CompHTM                         // transaction begin/commit/abort
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	CompNative:     "native",
+	CompExclusive:  "exclusive",
+	CompInstrument: "instrument",
+	CompMProtect:   "mprotect",
+	CompHTM:        "htm",
+}
+
+func (c Component) String() string {
+	if c < NumComponents {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("component?%d", uint8(c))
+}
+
+// CPU holds one vCPU's counters.
+type CPU struct {
+	// Instruction census (Table I).
+	GuestInstrs uint64
+	IROps       uint64
+	Loads       uint64
+	Stores      uint64
+	LLs         uint64
+	SCs         uint64
+	SCFails     uint64
+
+	// Scheme events.
+	HashConflicts uint64 // SC failed due to hash-entry change by an aliasing address
+	PageFaults    uint64 // PST store faults taken
+	FalseSharing  uint64 // PST faults on the page but not the monitored word
+	HTMCommits    uint64
+	HTMAborts     uint64
+	ExclSections  uint64 // stop-the-world sections entered
+
+	// Virtual cycles by component.
+	Cycles [NumComponents]uint64
+}
+
+// Charge adds cycles to a component.
+func (c *CPU) Charge(comp Component, cycles uint64) { c.Cycles[comp] += cycles }
+
+// TotalCycles sums all components.
+func (c *CPU) TotalCycles() uint64 {
+	var t uint64
+	for _, v := range c.Cycles {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates other into c (for machine-wide aggregation).
+func (c *CPU) Add(other *CPU) {
+	c.GuestInstrs += other.GuestInstrs
+	c.IROps += other.IROps
+	c.Loads += other.Loads
+	c.Stores += other.Stores
+	c.LLs += other.LLs
+	c.SCs += other.SCs
+	c.SCFails += other.SCFails
+	c.HashConflicts += other.HashConflicts
+	c.PageFaults += other.PageFaults
+	c.FalseSharing += other.FalseSharing
+	c.HTMCommits += other.HTMCommits
+	c.HTMAborts += other.HTMAborts
+	c.ExclSections += other.ExclSections
+	for i := range c.Cycles {
+		c.Cycles[i] += other.Cycles[i]
+	}
+}
+
+// StoreToLLSCRatio returns how many regular stores execute per LL/SC pair —
+// the discriminating statistic of the paper's Table I (88x .. 3000x on
+// PARSEC).
+func (c *CPU) StoreToLLSCRatio() float64 {
+	atomics := c.LLs
+	if atomics == 0 {
+		return 0
+	}
+	return float64(c.Stores) / float64(atomics)
+}
+
+// Breakdown returns the fraction of total cycles per component.
+func (c *CPU) Breakdown() [NumComponents]float64 {
+	var out [NumComponents]float64
+	total := c.TotalCycles()
+	if total == 0 {
+		return out
+	}
+	for i, v := range c.Cycles {
+		out[i] = float64(v) / float64(total)
+	}
+	return out
+}

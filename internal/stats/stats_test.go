@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeAndTotal(t *testing.T) {
+	var c CPU
+	c.Charge(CompNative, 100)
+	c.Charge(CompExclusive, 50)
+	c.Charge(CompNative, 10)
+	if c.Cycles[CompNative] != 110 || c.Cycles[CompExclusive] != 50 {
+		t.Fatalf("cycles = %v", c.Cycles)
+	}
+	if c.TotalCycles() != 160 {
+		t.Fatalf("total = %d", c.TotalCycles())
+	}
+}
+
+func TestAddAccumulatesEverything(t *testing.T) {
+	a := CPU{GuestInstrs: 1, IROps: 2, Loads: 3, Stores: 4, LLs: 5, SCs: 6,
+		SCFails: 7, HashConflicts: 8, PageFaults: 9, FalseSharing: 10,
+		HTMCommits: 11, HTMAborts: 12, ExclSections: 13}
+	a.Charge(CompMProtect, 14)
+	b := a
+	a.Add(&b)
+	if a.GuestInstrs != 2 || a.SCFails != 14 || a.ExclSections != 26 {
+		t.Fatalf("Add missed fields: %+v", a)
+	}
+	if a.Cycles[CompMProtect] != 28 {
+		t.Fatalf("Add missed cycles: %v", a.Cycles)
+	}
+}
+
+func TestStoreToLLSCRatio(t *testing.T) {
+	var c CPU
+	if c.StoreToLLSCRatio() != 0 {
+		t.Error("zero atomics should give ratio 0, not NaN")
+	}
+	c.Stores = 880
+	c.LLs = 10
+	if got := c.StoreToLLSCRatio(); got != 88 {
+		t.Errorf("ratio = %v", got)
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	f := func(n, e, i, m, h uint32) bool {
+		var c CPU
+		c.Charge(CompNative, uint64(n))
+		c.Charge(CompExclusive, uint64(e))
+		c.Charge(CompInstrument, uint64(i))
+		c.Charge(CompMProtect, uint64(m))
+		c.Charge(CompHTM, uint64(h))
+		fr := c.Breakdown()
+		if c.TotalCycles() == 0 {
+			for _, v := range fr {
+				if v != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		sum := 0.0
+		for _, v := range fr {
+			sum += v
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	want := map[Component]string{
+		CompNative: "native", CompExclusive: "exclusive",
+		CompInstrument: "instrument", CompMProtect: "mprotect", CompHTM: "htm",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Component(99).String() == "" {
+		t.Error("unknown component should still format")
+	}
+}

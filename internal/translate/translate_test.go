@@ -1,0 +1,327 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+	"atomemu/internal/ir"
+)
+
+// fetchFrom builds a FetchFunc over an assembled image.
+func fetchFrom(im *asm.Image) FetchFunc {
+	return func(pc uint32) (uint32, error) {
+		idx := (pc - im.Org) / arch.WordBytes
+		if pc < im.Org || int(idx) >= len(im.Words) {
+			return 0, fmt.Errorf("fetch out of image: %#x", pc)
+		}
+		return im.Words[idx], nil
+	}
+}
+
+func mustAssemble(t *testing.T, src string) *asm.Image {
+	t.Helper()
+	im, err := asm.Assemble(".org 0x1000\n" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func translate(t *testing.T, src string, opts Options) *ir.Block {
+	t.Helper()
+	im := mustAssemble(t, src)
+	b, err := Block(fetchFrom(im), im.Org, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatalf("translated block fails verify: %v\n%s", err, b)
+	}
+	return b
+}
+
+func ops(b *ir.Block) []ir.Op {
+	out := make([]ir.Op, len(b.Ops))
+	for i, in := range b.Ops {
+		out[i] = in.Op
+	}
+	return out
+}
+
+func hasOp(b *ir.Block, op ir.Op) bool {
+	for _, in := range b.Ops {
+		if in.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLineBlock(t *testing.T) {
+	b := translate(t, `
+    movi r0, #5
+    addi r1, r0, #3
+    hlt
+`, Options{})
+	if b.GuestLen != 3 {
+		t.Errorf("GuestLen = %d", b.GuestLen)
+	}
+	got := ops(b)
+	want := []ir.Op{ir.MovI, ir.AddI, ir.Halt}
+	if len(got) != len(want) {
+		t.Fatalf("ops = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlockEndsAtBranch(t *testing.T) {
+	b := translate(t, `
+loop:
+    subsi r0, r0, #1
+    bne loop
+    hlt
+`, Options{})
+	if b.GuestLen != 2 {
+		t.Errorf("block should end at the branch, GuestLen = %d", b.GuestLen)
+	}
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.ExitCond || last.Cond != arch.NE {
+		t.Fatalf("terminator = %s", last)
+	}
+	if last.Addr != 0x1000 || last.Addr2 != 0x1008 {
+		t.Errorf("targets = %#x / %#x", last.Addr, last.Addr2)
+	}
+}
+
+func TestUnconditionalBranch(t *testing.T) {
+	b := translate(t, "top:\n b top", Options{})
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.ExitJmp || last.Addr != 0x1000 {
+		t.Fatalf("terminator = %s", last)
+	}
+}
+
+func TestBLWritesLinkRegister(t *testing.T) {
+	b := translate(t, "f:\n bl f", Options{})
+	if len(b.Ops) != 2 {
+		t.Fatalf("ops:\n%s", b)
+	}
+	if b.Ops[0].Op != ir.MovI || b.Ops[0].D != ir.RegID(arch.LR) || b.Ops[0].Imm != 0x1004 {
+		t.Errorf("lr setup = %s", b.Ops[0])
+	}
+	if b.Ops[1].Op != ir.ExitJmp || b.Ops[1].Addr != 0x1000 {
+		t.Errorf("jump = %s", b.Ops[1])
+	}
+}
+
+func TestBXIndirect(t *testing.T) {
+	b := translate(t, "bx lr", Options{})
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.ExitInd || last.A != ir.RegID(arch.LR) {
+		t.Fatalf("terminator = %s", last)
+	}
+}
+
+func TestSyscallCarriesNumberAndResume(t *testing.T) {
+	b := translate(t, "svc #7\n nop", Options{})
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.Syscall || last.Imm != 7 || last.Addr != 0x1004 {
+		t.Fatalf("terminator = %s", last)
+	}
+}
+
+func TestStoreInstrumentationToggle(t *testing.T) {
+	src := "str r0, [r1, #4]\n strb r0, [r1]\n hlt"
+	plain := translate(t, src, Options{})
+	if !hasOp(plain, ir.Store) || !hasOp(plain, ir.StoreB) {
+		t.Errorf("uninstrumented ops missing:\n%s", plain)
+	}
+	if hasOp(plain, ir.InstrStore) || hasOp(plain, ir.InstrStoreB) {
+		t.Errorf("unexpected instrumentation:\n%s", plain)
+	}
+	instr := translate(t, src, Options{InstrumentStores: true})
+	if !hasOp(instr, ir.InstrStore) || !hasOp(instr, ir.InstrStoreB) {
+		t.Errorf("instrumented ops missing:\n%s", instr)
+	}
+	if hasOp(instr, ir.Store) || hasOp(instr, ir.StoreB) {
+		t.Errorf("plain stores escaped instrumentation:\n%s", instr)
+	}
+}
+
+func TestLoadInstrumentationToggle(t *testing.T) {
+	src := "ldr r0, [r1, #4]\n ldrb r0, [r1]\n ldrr r2, [r3, r4]\n hlt"
+	plain := translate(t, src, Options{})
+	if hasOp(plain, ir.InstrLoad) || hasOp(plain, ir.InstrLoadB) {
+		t.Errorf("unexpected load instrumentation:\n%s", plain)
+	}
+	instr := translate(t, src, Options{InstrumentLoads: true})
+	if !hasOp(instr, ir.InstrLoad) || !hasOp(instr, ir.InstrLoadB) {
+		t.Errorf("instrumented loads missing:\n%s", instr)
+	}
+	if hasOp(instr, ir.Load) || hasOp(instr, ir.LoadB) {
+		t.Errorf("plain loads escaped instrumentation:\n%s", instr)
+	}
+}
+
+func TestLLSCAlwaysRouteThroughScheme(t *testing.T) {
+	b := translate(t, "ldrex r0, [r1]\n strex r2, r0, [r1]\n clrex\n dmb\n hlt", Options{})
+	for _, want := range []ir.Op{ir.LL, ir.SC, ir.Clrex, ir.Fence} {
+		if !hasOp(b, want) {
+			t.Errorf("missing %v:\n%s", want, b)
+		}
+	}
+	// SC operands: D=status, A=address, B=value.
+	for _, in := range b.Ops {
+		if in.Op == ir.SC {
+			if in.D != 2 || in.A != 1 || in.B != 0 {
+				t.Errorf("SC operands wrong: %s", in)
+			}
+		}
+	}
+}
+
+func TestRegisterOffsetAddressing(t *testing.T) {
+	b := translate(t, "strr r0, [r1, r2]\n hlt", Options{InstrumentStores: true})
+	// add temp = r1+r2; instrstore [temp] = r0.
+	if len(b.Ops) != 3 || b.Ops[0].Op != ir.Add || b.Ops[1].Op != ir.InstrStore {
+		t.Fatalf("ops:\n%s", b)
+	}
+	if b.Ops[1].A != b.Ops[0].D {
+		t.Error("store must address through the computed temp")
+	}
+}
+
+func TestMovtLowersToAndOr(t *testing.T) {
+	b := translate(t, "movt r3, #0x1234\n hlt", Options{})
+	if b.Ops[0].Op != ir.AndI || b.Ops[0].Imm != 0xffff {
+		t.Errorf("op0 = %s", b.Ops[0])
+	}
+	if b.Ops[1].Op != ir.OrI || b.Ops[1].Imm != 0x1234<<16 {
+		t.Errorf("op1 = %s", b.Ops[1])
+	}
+}
+
+func TestRSBSwapsOperands(t *testing.T) {
+	b := translate(t, "rsb r0, r1, r2\n hlt", Options{})
+	if b.Ops[0].Op != ir.Sub || b.Ops[0].A != 2 || b.Ops[0].B != 1 {
+		t.Fatalf("rsb lowered wrong: %s", b.Ops[0])
+	}
+}
+
+func TestCmpUsesScratchTemp(t *testing.T) {
+	b := translate(t, "cmp r1, r2\n hlt", Options{})
+	if b.Ops[0].Op != ir.FlagsSub || b.Ops[0].D < ir.NumGuestRegs {
+		t.Fatalf("cmp must target a temp: %s", b.Ops[0])
+	}
+}
+
+func TestTstLowering(t *testing.T) {
+	b := translate(t, "tst r1, r2\n hlt", Options{})
+	if b.Ops[0].Op != ir.And || b.Ops[1].Op != ir.FlagsNZ {
+		t.Fatalf("tst lowering:\n%s", b)
+	}
+}
+
+func TestMaxGuestInstrsCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "addi r0, r0, #1\n")
+	}
+	sb.WriteString("hlt\n")
+	b := translate(t, sb.String(), Options{MaxGuestInstrs: 8})
+	if b.GuestLen != 8 {
+		t.Errorf("GuestLen = %d, want 8", b.GuestLen)
+	}
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.ExitJmp || last.Addr != 0x1000+8*4 {
+		t.Errorf("cap terminator = %s", last)
+	}
+}
+
+func TestNopOnlyBlockStillTerminates(t *testing.T) {
+	b := translate(t, "nop\nnop\nnop", Options{MaxGuestInstrs: 3})
+	if len(b.Ops) != 1 || b.Ops[0].Op != ir.ExitJmp {
+		t.Fatalf("nop block:\n%s", b)
+	}
+}
+
+func TestYieldTerminates(t *testing.T) {
+	b := translate(t, "yield\n nop", Options{})
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.YieldOp || last.Addr != 0x1004 {
+		t.Fatalf("yield terminator = %s", last)
+	}
+}
+
+func TestOptimizeIntegration(t *testing.T) {
+	// movw+movt through the optimizer folds into constants where possible.
+	b := translate(t, `
+    movw r0, #0x5678
+    movt r0, #0x1234
+    hlt
+`, Options{Optimize: true})
+	// After const folding the and/or chain collapses: r0 = movi 0x5678,
+	// then andi+ori fold to a single movi 0x12345678.
+	found := false
+	for _, in := range b.Ops {
+		if in.Op == ir.MovI && in.Imm == 0x12345678 && in.D == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("movw/movt did not fold:\n%s", b)
+	}
+}
+
+func TestFetchErrorFirstInstruction(t *testing.T) {
+	_, err := Block(func(pc uint32) (uint32, error) {
+		return 0, fmt.Errorf("unmapped")
+	}, 0x1000, Options{})
+	if err == nil {
+		t.Fatal("expected fetch error")
+	}
+}
+
+func TestFetchErrorMidBlockSplits(t *testing.T) {
+	im := mustAssemble(t, "addi r0, r0, #1\n addi r0, r0, #2\n hlt")
+	limit := im.Org + 8 // only first two instructions fetchable
+	fetch := func(pc uint32) (uint32, error) {
+		if pc >= limit {
+			return 0, fmt.Errorf("unmapped")
+		}
+		return fetchFrom(im)(pc)
+	}
+	b, err := Block(fetch, im.Org, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GuestLen != 2 {
+		t.Errorf("GuestLen = %d, want 2", b.GuestLen)
+	}
+	last := b.Ops[len(b.Ops)-1]
+	if last.Op != ir.ExitJmp || last.Addr != limit {
+		t.Errorf("split terminator = %s", last)
+	}
+}
+
+func TestUndecodableInstructionFails(t *testing.T) {
+	fetch := func(pc uint32) (uint32, error) { return 0xff000000, nil }
+	if _, err := Block(fetch, 0, Options{}); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestGuestPCAnnotations(t *testing.T) {
+	b := translate(t, "movi r0, #1\n movi r1, #2\n hlt", Options{})
+	if b.Ops[0].GuestPC != 0x1000 || b.Ops[1].GuestPC != 0x1004 || b.Ops[2].GuestPC != 0x1008 {
+		t.Errorf("GuestPC annotations: %#x %#x %#x",
+			b.Ops[0].GuestPC, b.Ops[1].GuestPC, b.Ops[2].GuestPC)
+	}
+}

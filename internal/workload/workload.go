@@ -1,0 +1,422 @@
+// Package workload generates "miniparsec", atomemu's synthetic stand-in for
+// the PARSEC 3.0 suite the paper evaluates on. Building PARSEC itself is
+// neither possible (no cross-compiled ARM binaries here) nor necessary: the
+// paper's performance results are driven by a handful of per-program
+// characteristics — the store:LL/SC ratio (Table I: 88x–3000x), whether
+// atomics are lock acquisitions or bare read-modify-writes, lock
+// granularity, barrier cadence, the serial fraction, and how many stores
+// land on the same page as a synchronization variable (PST's false
+// sharing). Each miniparsec program reproduces its namesake's profile in
+// those dimensions with a parameterized GA32 kernel; the per-program
+// parameters are listed in Specs.
+//
+// Every program carries a built-in invariant for run validation: lock-kind
+// programs count critical-section entries in a lock-protected word, add-kind
+// programs accumulate in their atomic cells; Verify checks the total.
+package workload
+
+import (
+	"fmt"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/asm"
+	"atomemu/internal/mmu"
+)
+
+// AtomicKind selects the shape of a program's atomic sections.
+type AtomicKind uint8
+
+// Atomic section kinds.
+const (
+	// KindAdd is a bare LL/SC fetch-and-add (compiler __atomic_add shape).
+	KindAdd AtomicKind = iota
+	// KindLock is a spinlock acquire / critical section / release.
+	KindLock
+)
+
+func (k AtomicKind) String() string {
+	if k == KindAdd {
+		return "add"
+	}
+	return "lock"
+}
+
+// Spec parameterizes one miniparsec program.
+type Spec struct {
+	Name string
+	// TotalItems is the whole-run work-item count at scale 1.0, divided
+	// evenly among threads.
+	TotalItems int
+	// ComputePerItem is the number of xorshift rounds per item.
+	ComputePerItem int
+	// StoresPerItem is the number of thread-local buffer stores per item.
+	StoresPerItem int
+	// SharedStoresPerItem is the number of stores per item landing on the
+	// page that also holds the locks/cells — the PST false-sharing source.
+	SharedStoresPerItem int
+	// AtomicEvery runs an atomic section every this many items (power of 2).
+	AtomicEvery int
+	// Kind selects add vs lock sections.
+	Kind AtomicKind
+	// LockCells is the number of distinct cells/locks (power of 2);
+	// 1 means a single global lock (serialization).
+	LockCells int
+	// CSStores is the number of shared-page stores inside a critical
+	// section (lock kind only).
+	CSStores int
+	// BarrierEvery inserts a barrier every this many items (power of 2),
+	// 0 for none.
+	BarrierEvery int
+}
+
+// Specs returns the eight miniparsec programs. The comments give the
+// intended store:LL/SC ballpark (Table I) and the behaviour being imitated.
+func Specs() []Spec {
+	return []Spec{
+		{
+			// Data-parallel option pricing: almost no synchronization.
+			// ratio ~3000:1; scales nearly perfectly.
+			Name: "blackscholes", TotalItems: 32768,
+			ComputePerItem: 12, StoresPerItem: 24,
+			AtomicEvery: 128, Kind: KindAdd, LockCells: 4,
+		},
+		{
+			// Per-frame barriers plus shared-structure stores next to the
+			// locks: the false-sharing U-shape program. ratio ~550:1.
+			Name: "bodytrack", TotalItems: 32768,
+			ComputePerItem: 8, StoresPerItem: 16, SharedStoresPerItem: 1,
+			AtomicEvery: 32, Kind: KindLock, LockCells: 8, CSStores: 4,
+			BarrierEvery: 4096,
+		},
+		{
+			// Simulated annealing with one global lock: ~30% parallelism;
+			// excluded from the scalability figure, kept for overheads.
+			Name: "canneal", TotalItems: 16384,
+			ComputePerItem: 6, StoresPerItem: 12,
+			AtomicEvery: 2, Kind: KindLock, LockCells: 1, CSStores: 24,
+		},
+		{
+			// Physics solver: barriers each phase, moderate atomics.
+			// ratio ~650:1.
+			Name: "facesim", TotalItems: 32768,
+			ComputePerItem: 10, StoresPerItem: 20,
+			AtomicEvery: 32, Kind: KindAdd, LockCells: 8,
+			BarrierEvery: 2048,
+		},
+		{
+			// Fine-grained per-cell locks, the most atomic-intensive
+			// program. ratio ~90:1.
+			Name: "fluidanimate", TotalItems: 32768,
+			ComputePerItem: 4, StoresPerItem: 20, SharedStoresPerItem: 1,
+			AtomicEvery: 4, Kind: KindLock, LockCells: 64, CSStores: 2,
+		},
+		{
+			// FP-growth mining: chunky locked updates. ratio ~400:1.
+			Name: "freqmine", TotalItems: 24576,
+			ComputePerItem: 8, StoresPerItem: 48,
+			AtomicEvery: 8, Kind: KindLock, LockCells: 8, CSStores: 8,
+		},
+		{
+			// Monte-Carlo pricing with work-stealing counters: intensive
+			// bare atomics. ratio ~150:1.
+			Name: "swaptions", TotalItems: 32768,
+			ComputePerItem: 6, StoresPerItem: 36,
+			AtomicEvery: 4, Kind: KindAdd, LockCells: 16,
+		},
+		{
+			// Pipeline encoder: long store-heavy stretches, rare locks.
+			// ratio ~2000:1.
+			Name: "x264", TotalItems: 32768,
+			ComputePerItem: 10, StoresPerItem: 32,
+			AtomicEvery: 64, Kind: KindLock, LockCells: 4, CSStores: 4,
+		},
+	}
+}
+
+// SpecByName finds a spec.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ScalabilitySpecs returns the suite minus canneal, whose 30% parallel
+// fraction makes it inappropriate for the scalability study (paper §IV).
+func ScalabilitySpecs() []Spec {
+	var out []Spec
+	for _, s := range Specs() {
+		if s.Name != "canneal" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MaxThreads is the most workers one program image supports (per-thread
+// buffer pages are laid out statically).
+const MaxThreads = 64
+
+// Program is an assembled miniparsec program.
+type Program struct {
+	Spec  Spec
+	Image *asm.Image
+	// Worker is the thread entry; r0 = items to process.
+	Worker uint32
+	// BarrierCell is the engine barrier key (init with thread count before
+	// running when the spec uses barriers).
+	BarrierCell uint32
+	// Counter is the validation counter (lock kind) — for add kind use the
+	// cells themselves.
+	Counter uint32
+	// Cells is the base of the lock/atomic cell array.
+	Cells uint32
+}
+
+func pow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+func log2of(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Build assembles the program at the given origin.
+func (spec Spec) Build(org uint32) (*Program, error) {
+	if !pow2(spec.AtomicEvery) || !pow2(spec.LockCells) {
+		return nil, fmt.Errorf("workload %s: AtomicEvery and LockCells must be powers of two", spec.Name)
+	}
+	if spec.BarrierEvery != 0 && !pow2(spec.BarrierEvery) {
+		return nil, fmt.Errorf("workload %s: BarrierEvery must be a power of two", spec.Name)
+	}
+	if spec.StoresPerItem > 64 || spec.CSStores > 32 || spec.SharedStoresPerItem > 8 {
+		return nil, fmt.Errorf("workload %s: store counts out of range", spec.Name)
+	}
+	b := asm.NewBuilder(org)
+
+	// Register plan: r4 = local buffer base, r5 = rng, r6 = item index,
+	// r9 = items remaining, r11 = tid, r12 = shared page base,
+	// r0-r3, r7, r8, r10 scratch.
+	b.Label("worker")
+	b.Mov(arch.R9, arch.R0)
+	b.CmpI(arch.R9, 0)
+	b.Beq("finish")
+	b.MovI(arch.R6, 0)
+	b.Svc(5) // gettid
+	b.Mov(arch.R11, arch.R0)
+	// r4 = bufs + ((tid-1) & 63) << PageShift
+	b.SubI(arch.R1, arch.R11, 1)
+	b.AndI(arch.R1, arch.R1, MaxThreads-1)
+	b.LslI(arch.R1, arch.R1, mmu.PageShift)
+	b.LoadAddr(arch.R4, "bufs")
+	b.Add(arch.R4, arch.R4, arch.R1)
+	// rng seed: tid * 2654435761 + 97
+	b.MovImm32(arch.R7, 2654435761)
+	b.Mul(arch.R5, arch.R11, arch.R7)
+	b.AddI(arch.R5, arch.R5, 97)
+	b.LoadAddr(arch.R12, "shared")
+
+	b.Label("itemloop")
+	// Compute: xorshift rounds on r5.
+	for i := 0; i < spec.ComputePerItem; i++ {
+		b.LslI(arch.R7, arch.R5, 13)
+		b.Eor(arch.R5, arch.R5, arch.R7)
+		b.LsrI(arch.R7, arch.R5, 17)
+		b.Eor(arch.R5, arch.R5, arch.R7)
+		b.LslI(arch.R7, arch.R5, 5)
+		b.Eor(arch.R5, arch.R5, arch.R7)
+	}
+	// Local-buffer stores, spread across the page.
+	for s := 0; s < spec.StoresPerItem; s++ {
+		off := int32(s*52) % (mmu.PageSize - 4) &^ 3
+		b.Str(arch.R5, arch.R4, off)
+	}
+	// Shared-page stores (false sharing for PST): land in the shared
+	// array, which shares its page with the locks and counter.
+	for s := 0; s < spec.SharedStoresPerItem; s++ {
+		b.Str(arch.R5, arch.R12, int32(sharedArrOff+s*4))
+	}
+
+	// Atomic section every AtomicEvery items.
+	b.AndI(arch.R7, arch.R6, uint32OK(spec.AtomicEvery-1))
+	b.CmpI(arch.R7, 0)
+	b.Bne("noatomic")
+	// cell index = ((item >> log2(every)) + tid) & (cells-1)
+	b.LsrI(arch.R7, arch.R6, int32(log2of(spec.AtomicEvery)))
+	b.Add(arch.R7, arch.R7, arch.R11)
+	b.AndI(arch.R7, arch.R7, uint32OK(spec.LockCells-1))
+	b.LslI(arch.R7, arch.R7, 2)
+	b.Mov(arch.R8, arch.R12) // cells sit at offset 0 of the shared page
+	b.Add(arch.R8, arch.R8, arch.R7)
+	switch spec.Kind {
+	case KindAdd:
+		b.Label("addretry")
+		b.Ldrex(arch.R1, arch.R8)
+		b.AddI(arch.R1, arch.R1, 1)
+		b.Strex(arch.R2, arch.R1, arch.R8)
+		b.CmpI(arch.R2, 0)
+		b.Bne("addretry")
+	case KindLock:
+		b.Label("lockacq")
+		b.Ldrex(arch.R1, arch.R8)
+		b.CmpI(arch.R1, 0)
+		b.Bne("lockwait")
+		b.MovI(arch.R1, 1)
+		b.Strex(arch.R2, arch.R1, arch.R8)
+		b.CmpI(arch.R2, 0)
+		b.Bne("lockacq")
+		b.B("lockcs")
+		b.Label("lockwait")
+		b.Clrex()
+		b.Yield()
+		b.B("lockacq")
+		b.Label("lockcs")
+		// Lock-protected validation counter: counter i sits counterOff
+		// bytes above lock i and is protected by it.
+		b.Ldr(arch.R1, arch.R8, counterOff)
+		b.AddI(arch.R1, arch.R1, 1)
+		b.Str(arch.R1, arch.R8, counterOff)
+		// Critical-section stores on the shared page.
+		for s := 0; s < spec.CSStores; s++ {
+			b.Str(arch.R5, arch.R12, int32(csArrOff+s*4))
+		}
+		// Release.
+		b.MovI(arch.R1, 0)
+		b.Str(arch.R1, arch.R8, 0)
+	}
+	b.Label("noatomic")
+
+	// Barrier every BarrierEvery items.
+	if spec.BarrierEvery > 0 {
+		b.AndI(arch.R7, arch.R6, uint32OK(spec.BarrierEvery-1))
+		b.MovImm32(arch.R8, uint32(spec.BarrierEvery-1))
+		b.Cmp(arch.R7, arch.R8)
+		b.Bne("nobarrier")
+		b.AddI(arch.R0, arch.R12, barrierOff)
+		b.Svc(10) // barrier_wait
+		b.Label("nobarrier")
+	}
+
+	b.AddI(arch.R6, arch.R6, 1)
+	b.SubsI(arch.R9, arch.R9, 1)
+	b.Bne("itemloop")
+	b.Label("finish")
+	b.Mov(arch.R0, arch.R5) // checksum as exit code
+	b.Svc(1)
+
+	// Shared page: cells, counter, barrier cell, CS array, shared array.
+	b.AlignWords(mmu.PageWords)
+	b.Label("shared")
+	b.Space(spec.LockCells) // cells at offset 0
+	padToOff(b, counterOff)
+	b.Word(0) // counter
+	padToOff(b, barrierOff)
+	b.Word(0) // barrier key cell
+	padToOff(b, csArrOff)
+	b.Space(32)
+	padToOff(b, sharedArrOff)
+	b.Space(16)
+	// Per-thread local buffer pages.
+	b.AlignWords(mmu.PageWords)
+	b.Label("bufs")
+	b.Space(MaxThreads * mmu.PageWords)
+
+	im, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	shared := im.MustSymbol("shared")
+	return &Program{
+		Spec:        spec,
+		Image:       im,
+		Worker:      im.MustSymbol("worker"),
+		BarrierCell: shared + barrierOff,
+		Counter:     shared + counterOff,
+		Cells:       shared,
+	}, nil
+}
+
+// Fixed offsets within the shared page (bytes). Cells occupy [0,
+// LockCells*4) and their validation counters [0x100, 0x100+LockCells*4):
+// counter i is protected by lock i, so fine-grained-lock programs count
+// critical sections without racing on one word.
+const (
+	counterOff   = 0x100
+	barrierOff   = 0x200
+	csArrOff     = 0x240
+	sharedArrOff = 0x300
+)
+
+func padToOff(b *asm.Builder, off int32) {
+	base := b.PC()
+	_ = base
+	for b.PC()%mmu.PageSize != uint32(off) {
+		b.Word(0)
+	}
+}
+
+func uint32OK(v int) int32 { return int32(v) }
+
+// ItemsPerThread divides the (scaled) total evenly; every thread gets the
+// same count so barrier arrivals match.
+func (spec Spec) ItemsPerThread(threads int, scale float64) int {
+	if threads < 1 {
+		threads = 1
+	}
+	total := float64(spec.TotalItems) * scale
+	per := int(total) / threads
+	if per < 1 {
+		per = 1
+	}
+	// Barrier programs need per-thread counts that cover at least one
+	// barrier interval boundary consistently; any equal count works since
+	// arrivals are per-item-index.
+	return per
+}
+
+// ExpectedSections computes how many atomic sections a run executes.
+func (spec Spec) ExpectedSections(threads, itemsPerThread int) uint64 {
+	perThread := (itemsPerThread + spec.AtomicEvery - 1) / spec.AtomicEvery
+	return uint64(threads) * uint64(perThread)
+}
+
+// memory is the slice of mmu.Memory Verify needs.
+type memory interface {
+	ReadWordPriv(addr uint32) (uint32, *mmu.Fault)
+}
+
+// Verify checks the program's built-in invariant after a run: the total
+// number of atomic sections observed in guest memory must equal the
+// expectation — mutual exclusion (lock kind) or atomicity (add kind) held.
+func (p *Program) Verify(mem memory, threads, itemsPerThread int) error {
+	want := p.Spec.ExpectedSections(threads, itemsPerThread)
+	var got uint64
+	switch p.Spec.Kind {
+	case KindAdd:
+		for i := 0; i < p.Spec.LockCells; i++ {
+			v, f := mem.ReadWordPriv(p.Cells + uint32(i)*4)
+			if f != nil {
+				return f
+			}
+			got += uint64(v)
+		}
+	case KindLock:
+		for i := 0; i < p.Spec.LockCells; i++ {
+			v, f := mem.ReadWordPriv(p.Counter + uint32(i)*4)
+			if f != nil {
+				return f
+			}
+			got += uint64(v)
+		}
+	}
+	if got != want {
+		return fmt.Errorf("workload %s: invariant violated: %d sections recorded, want %d",
+			p.Spec.Name, got, want)
+	}
+	return nil
+}

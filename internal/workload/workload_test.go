@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+
+	"atomemu/internal/engine"
+)
+
+func TestSpecsWellFormed(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 8 {
+		t.Fatalf("want 8 programs, have %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate program %s", s.Name)
+		}
+		names[s.Name] = true
+		if _, err := s.Build(0x10000); err != nil {
+			t.Errorf("%s does not build: %v", s.Name, err)
+		}
+	}
+	for _, want := range []string{"blackscholes", "bodytrack", "canneal", "facesim",
+		"fluidanimate", "freqmine", "swaptions", "x264"} {
+		if !names[want] {
+			t.Errorf("missing PARSEC program %s", want)
+		}
+	}
+}
+
+func TestScalabilitySpecsExcludeCanneal(t *testing.T) {
+	for _, s := range ScalabilitySpecs() {
+		if s.Name == "canneal" {
+			t.Fatal("canneal must be excluded from scalability runs")
+		}
+	}
+	if len(ScalabilitySpecs()) != 7 {
+		t.Fatalf("want 7 scalability programs")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName("fluidanimate"); !ok {
+		t.Error("fluidanimate not found")
+	}
+	if _, ok := SpecByName("doom"); ok {
+		t.Error("unexpected program found")
+	}
+}
+
+func TestItemsPerThreadEven(t *testing.T) {
+	spec, _ := SpecByName("bodytrack")
+	per := spec.ItemsPerThread(8, 1.0)
+	if per < 1 || per*8 > spec.TotalItems {
+		t.Fatalf("per-thread items %d implausible", per)
+	}
+	if spec.ItemsPerThread(1000000, 1.0) < 1 {
+		t.Fatal("per-thread items must be at least 1")
+	}
+}
+
+// runProgram executes a workload under a scheme and verifies its invariant.
+func runProgram(t *testing.T, name, scheme string, threads int, scale float64) (*Program, *engine.Machine, int) {
+	t.Helper()
+	spec, ok := SpecByName(name)
+	if !ok {
+		t.Fatalf("no such program %s", name)
+	}
+	prog, err := spec.Build(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig(scheme)
+	cfg.MaxGuestInstrs = 1_000_000_000
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	items := spec.ItemsPerThread(threads, scale)
+	if spec.BarrierEvery > 0 {
+		m.InitBarrier(prog.BarrierCell, threads)
+	}
+	for i := 0; i < threads; i++ {
+		if _, err := m.SpawnThread(prog.Worker, uint32(items)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(m.Mem(), threads, items); err != nil {
+		t.Fatal(err)
+	}
+	return prog, m, items
+}
+
+func TestEveryProgramRunsAndVerifies(t *testing.T) {
+	for _, spec := range Specs() {
+		t.Run(spec.Name, func(t *testing.T) {
+			runProgram(t, spec.Name, "hst", 4, 0.05)
+		})
+	}
+}
+
+func TestEverySchemeRunsFluidanimate(t *testing.T) {
+	// The most atomic-intensive program across all eight schemes.
+	for _, scheme := range []string{"pico-cas", "pico-st", "pico-htm", "hst", "hst-weak", "hst-htm", "pst", "pst-remap", "pst-mpk"} {
+		t.Run(scheme, func(t *testing.T) {
+			runProgram(t, "fluidanimate", scheme, 4, 0.02)
+		})
+	}
+}
+
+func TestStoreToLLSCRatiosMatchTableI(t *testing.T) {
+	// The measured store:LL/SC ratio per program must land in its
+	// Table I neighbourhood, and the suite must span roughly two orders
+	// of magnitude (88x .. 3000x in the paper).
+	type band struct{ lo, hi float64 }
+	want := map[string]band{
+		"blackscholes": {1500, 6000},
+		"bodytrack":    {250, 1300},
+		"canneal":      {30, 200},
+		"facesim":      {300, 1500},
+		"fluidanimate": {40, 200},
+		"freqmine":     {200, 900},
+		"swaptions":    {70, 350},
+		"x264":         {1000, 4500},
+	}
+	var minRatio, maxRatio float64
+	for _, spec := range Specs() {
+		_, m, _ := runProgram(t, spec.Name, "hst", 2, 0.05)
+		agg := m.AggregateStats()
+		ratio := agg.StoreToLLSCRatio()
+		b := want[spec.Name]
+		if ratio < b.lo || ratio > b.hi {
+			t.Errorf("%s store:LL/SC = %.0f, want within [%.0f, %.0f]", spec.Name, ratio, b.lo, b.hi)
+		}
+		if minRatio == 0 || ratio < minRatio {
+			minRatio = ratio
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	if maxRatio/minRatio < 10 {
+		t.Errorf("suite ratio spread %.1fx too narrow (paper: ~34x)", maxRatio/minRatio)
+	}
+}
+
+func TestBarrierProgramsWithVariousThreadCounts(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		runProgram(t, "bodytrack", "pico-cas", threads, 0.05)
+	}
+}
+
+func TestCannealSerializesOnGlobalLock(t *testing.T) {
+	// canneal's critical sections all hit lock cell 0.
+	prog, m, items := runProgram(t, "canneal", "hst", 4, 0.05)
+	want := prog.Spec.ExpectedSections(4, items)
+	v, _ := m.Mem().ReadWordPriv(prog.Counter)
+	if uint64(v) != want {
+		t.Fatalf("counter = %d, want %d", v, want)
+	}
+}
+
+func TestPSTSeesFalseSharingOnBodytrack(t *testing.T) {
+	// bodytrack stores into the page holding its locks: under PST these
+	// faults must be counted as false sharing.
+	_, m, _ := runProgram(t, "bodytrack", "pst", 4, 0.05)
+	agg := m.AggregateStats()
+	if agg.FalseSharing == 0 {
+		t.Error("expected false-sharing faults under PST on bodytrack")
+	}
+	if agg.PageFaults < agg.FalseSharing {
+		t.Error("page faults must include false-sharing faults")
+	}
+}
+
+func TestInvalidSpecsRejected(t *testing.T) {
+	bad := Spec{Name: "bad", TotalItems: 10, AtomicEvery: 3, LockCells: 2}
+	if _, err := bad.Build(0); err == nil {
+		t.Error("non-power-of-two AtomicEvery must fail")
+	}
+	bad = Spec{Name: "bad", TotalItems: 10, AtomicEvery: 2, LockCells: 2, BarrierEvery: 7}
+	if _, err := bad.Build(0); err == nil {
+		t.Error("non-power-of-two BarrierEvery must fail")
+	}
+	bad = Spec{Name: "bad", TotalItems: 10, AtomicEvery: 2, LockCells: 2, StoresPerItem: 100}
+	if _, err := bad.Build(0); err == nil {
+		t.Error("oversized store count must fail")
+	}
+}
+
+func TestAtomicKindString(t *testing.T) {
+	if KindAdd.String() != "add" || KindLock.String() != "lock" {
+		t.Error("kind strings")
+	}
+}
+
+func TestDeterministicChecksumSingleThread(t *testing.T) {
+	// With one thread the exit checksum is deterministic across runs.
+	run := func() uint32 {
+		_, m, _ := runProgram(t, "blackscholes", "pico-cas", 1, 0.02)
+		return m.CPUs()[0].ExitCode()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("single-thread checksum not deterministic: %#x vs %#x", a, b)
+	}
+	if a == 0 {
+		t.Error("checksum should be nonzero")
+	}
+}
