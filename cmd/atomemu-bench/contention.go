@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"atomemu/internal/asm"
+	"atomemu/internal/engine"
+	"atomemu/internal/harness"
+)
+
+// The contention experiment measures HOST wall-clock throughput of the
+// engine's two most contended paths — the SC hot path (exclusive protocol
+// plus its accounting) and shared translation-block dispatch — by running
+// the LL/SC atomic-counter guest at a vCPU sweep. Unlike the figures,
+// which report virtual cycles, this reports real host time: it is the
+// regression check for the lock-free TB cache and the O(1) exclusive
+// accounting (see README "Host-side concurrency").
+
+// contentionProgram is the canonical LL/SC increment worker: r0 = iterations.
+const contentionProgram = `
+.org 0x10000
+.entry worker
+worker:
+    ldr r4, =counter
+loop:
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne loop
+    subsi r0, r0, #1
+    bne loop
+    movi r0, #0
+    svc #1
+.align 1024
+counter: .word 0
+`
+
+type contentionRow struct {
+	Scheme        string
+	Threads       int
+	WallMS        float64
+	SCsPerSec     float64
+	SharedLookups uint64
+	Translations  uint64
+	RaceDiscards  uint64
+}
+
+type contentionResult struct {
+	rows []contentionRow
+}
+
+func runContention(scale float64, threads []int, progress harness.Progress) (*contentionResult, error) {
+	if len(threads) == 0 {
+		threads = []int{1, 4, 16}
+	}
+	totalOps := uint64(float64(1_000_000) * scale)
+	if totalOps < 1000 {
+		totalOps = 1000
+	}
+	im, err := asm.Assemble(contentionProgram)
+	if err != nil {
+		return nil, err
+	}
+	res := &contentionResult{}
+	for _, scheme := range []string{"hst", "pico-st", "pico-cas"} {
+		for _, n := range threads {
+			m, err := engine.NewMachine(engine.DefaultConfig(scheme))
+			if err != nil {
+				return nil, err
+			}
+			if err := m.LoadImage(im); err != nil {
+				return nil, err
+			}
+			per := uint32(totalOps/uint64(n)) + 1
+			begin := time.Now()
+			for i := 0; i < n; i++ {
+				if _, err := m.SpawnThread(im.Entry, per); err != nil {
+					return nil, err
+				}
+			}
+			if err := m.Run(); err != nil {
+				return nil, err
+			}
+			wall := time.Since(begin)
+			agg := m.AggregateStats()
+			row := contentionRow{
+				Scheme:        scheme,
+				Threads:       n,
+				WallMS:        float64(wall.Microseconds()) / 1000,
+				SCsPerSec:     float64(agg.SCs-agg.SCFails) / wall.Seconds(),
+				SharedLookups: agg.TBSharedLookups,
+				Translations:  agg.TBTranslations,
+				RaceDiscards:  agg.TBRaceDiscards,
+			}
+			res.rows = append(res.rows, row)
+			if progress != nil {
+				progress("contention %s t=%d: %.1f ms, %.0f SC/s", scheme, n, row.WallMS, row.SCsPerSec)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the host-throughput table.
+func (c *contentionResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-9s %8s %10s %12s %9s %7s %9s\n",
+		"scheme", "threads", "wall(ms)", "SC/s", "tblookup", "tbxlat", "tbdiscard")
+	for _, r := range c.rows {
+		fmt.Fprintf(w, "%-9s %8d %10.1f %12.0f %9d %7d %9d\n",
+			r.Scheme, r.Threads, r.WallMS, r.SCsPerSec,
+			r.SharedLookups, r.Translations, r.RaceDiscards)
+	}
+}
+
+// CSV writes the machine-readable form (out/contention.csv).
+func (c *contentionResult) CSV(w io.Writer) {
+	fmt.Fprintln(w, "scheme,threads,wall_ms,sc_per_sec,tb_shared_lookups,tb_translations,tb_race_discards")
+	for _, r := range c.rows {
+		fmt.Fprintf(w, "%s,%d,%.3f,%.0f,%d,%d,%d\n",
+			r.Scheme, r.Threads, r.WallMS, r.SCsPerSec,
+			r.SharedLookups, r.Translations, r.RaceDiscards)
+	}
+}

@@ -8,6 +8,7 @@
 //	atomemu-bench table2       scheme summary matrix (measured)
 //	atomemu-bench correctness  lock-free stack ABA audit (§IV-A)
 //	atomemu-bench litmus       Seq1–Seq4 atomicity matrix (§IV-A)
+//	atomemu-bench contention   host-side SC/TB-dispatch throughput sweep
 //	atomemu-bench all          everything above
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
@@ -143,10 +144,18 @@ func run(args []string) error {
 		"litmus": func() error {
 			return harness.LitmusMatrix(os.Stdout)
 		},
+		"contention": func() error {
+			c, err := runContention(*scale, threads, progress)
+			if err != nil {
+				return err
+			}
+			c.Render(os.Stdout)
+			return saveCSV("contention.csv", c.CSV)
+		},
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2"} {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"atomemu/internal/asm"
+)
+
+// The contention benchmarks measure the two host-side hot paths the paper's
+// argument turns on (§III): shared translation-cache lookup and the
+// per-exclusive-section accounting charged by every HST/PICO-ST SC. Run
+// them at 1/4/16 workers to see how the engine scales with vCPUs.
+
+// benchPCs returns pcs spread like real block starts.
+func benchPCs(n int) []uint32 {
+	pcs := make([]uint32, n)
+	for i := range pcs {
+		pcs[i] = 0x10000 + uint32(i)*16
+	}
+	return pcs
+}
+
+func benchSharedTBLookup(b *testing.B, workers int) {
+	m, err := NewMachine(DefaultConfig("pico-cas"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcs := benchPCs(1024)
+	for _, pc := range pcs {
+		m.tbs.insert(pc, &TB{})
+	}
+	lookup := m.tbs.get
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			r := seed*2654435761 + 1
+			for i := 0; i < per; i++ {
+				r ^= r << 13
+				r ^= r >> 17
+				r ^= r << 5
+				if lookup(pcs[r%uint32(len(pcs))]) == nil {
+					panic("missing TB")
+				}
+			}
+		}(uint32(w) + 1)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSharedTBLookup(b *testing.B) {
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("vcpus-%d", w), func(b *testing.B) { benchSharedTBLookup(b, w) })
+	}
+}
+
+func benchChargeExclusive(b *testing.B, vcpus int) {
+	m, err := NewMachine(DefaultConfig("hst"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpus := make([]*CPU, vcpus)
+	for i := range cpus {
+		cpus[i] = newCPU(m, uint32(i+1))
+	}
+	m.cpuMu.Lock()
+	m.cpus = append(m.cpus, cpus...)
+	m.cpuMu.Unlock()
+	m.runningCPUs.Store(int32(vcpus))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/vcpus + 1
+	for w := 0; w < vcpus; w++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.chargeExclusiveEntry(c)
+			}
+		}(cpus[w])
+	}
+	wg.Wait()
+}
+
+func BenchmarkChargeExclusiveEntry(b *testing.B) {
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("vcpus-%d", w), func(b *testing.B) { benchChargeExclusive(b, w) })
+	}
+}
+
+// benchGuestSC runs the LL/SC atomic-counter guest end to end: b.N total
+// SC-success increments split across the vCPUs. This exercises the whole SC
+// hot path — exclusive protocol, accounting, TB dispatch.
+func benchGuestSC(b *testing.B, scheme string, threads int) {
+	im, err := asm.Assemble(`
+.org 0x10000
+.entry worker
+worker:
+    ldr r4, =counter
+loop:
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne loop
+    subsi r0, r0, #1
+    bne loop
+    movi r0, #0
+    svc #1
+.align 1024
+counter: .word 0
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(DefaultConfig(scheme))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadImage(im); err != nil {
+		b.Fatal(err)
+	}
+	iters := uint32(b.N/threads + 1)
+	b.ResetTimer()
+	for i := 0; i < threads; i++ {
+		if _, err := m.SpawnThread(im.Entry, iters); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGuestSC(b *testing.B) {
+	for _, scheme := range []string{"hst", "pico-st"} {
+		for _, threads := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/vcpus-%d", scheme, threads), func(b *testing.B) {
+				benchGuestSC(b, scheme, threads)
+			})
+		}
+	}
+}

@@ -33,6 +33,10 @@ type CPU struct {
 	// exclusive sections and sync reconciliation.
 	clock atomic.Uint64
 
+	// localTBs is the vCPU-private level of the two-level TB cache: plain
+	// map, no synchronization, absorbs every repeat lookup so the shared
+	// lock-free cache (Machine.tbs, tbcache.go) is only consulted once per
+	// (vCPU, pc).
 	localTBs map[uint32]*TB
 
 	// yieldRng drives randomized host-yield spacing so deschedule points

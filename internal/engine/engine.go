@@ -63,11 +63,12 @@ type Config struct {
 	StackBytes uint32
 	// MaxThreads bounds guest thread creation.
 	MaxThreads int
-	// QuantumTBs is how many blocks run between host scheduler yields.
+	// QuantumTBs is how many blocks run between host scheduler yields
+	// (0 = default).
 	QuantumTBs int
 	// PreemptMemOps is the mean number of guest memory operations between
 	// randomized mid-block host yields (instruction-granular preemption).
-	// 0 disables mid-block preemption.
+	// 0 selects the default; a negative value disables mid-block preemption.
 	PreemptMemOps int
 	// FuseAtomics enables rule-based translation (paper §VI): recognized
 	// LL/SC retry loops run as single fused host atomics.
@@ -123,13 +124,18 @@ type Machine struct {
 	// atomics bypass the scheme but must still break monitors).
 	storeNotifier core.StoreNotifier
 
-	tbMu sync.Mutex
-	tbs  map[uint32]*TB
+	// tbs is the shared translation-block cache: lock-free sharded
+	// copy-on-write lookups, see tbcache.go.
+	tbs tbCache
 
-	cpuMu   sync.Mutex
-	cpus    []*CPU
-	nextTID uint32
-	wg      sync.WaitGroup
+	cpuMu sync.Mutex
+	cpus  []*CPU
+	// cpuReserved counts newCPU calls that passed the MaxThreads check but
+	// have not appended to cpus yet, so concurrent guest spawns cannot
+	// overshoot the limit between the check and the append.
+	cpuReserved int
+	nextTID     uint32
+	wg          sync.WaitGroup
 
 	stopped  atomic.Bool
 	errMu    sync.Mutex
@@ -159,22 +165,53 @@ type TB struct {
 	block *ir.Block
 }
 
-// NewMachine builds a machine with the configured scheme.
-func NewMachine(cfg Config) (*Machine, error) {
-	if cfg.MemBytes == 0 {
-		def := DefaultConfig(cfg.Scheme)
-		def.StepMode = cfg.StepMode
-		def.ProfileCollisions = cfg.ProfileCollisions
-		if cfg.MaxGuestInstrs != 0 {
-			def.MaxGuestInstrs = cfg.MaxGuestInstrs
-		}
-		cfg = def
+// normalized fills zero-valued sizing fields from DefaultConfig while
+// keeping every caller-set field. (A partially-specified Config used to be
+// replaced wholesale whenever MemBytes was 0, silently discarding options
+// like Scheme, HashBits, FuseAtomics, NoOptimize or TraceWriter.) Flags and
+// debug fields pass through untouched; fields where zero is meaningful
+// (MaxGuestInstrsPerTB, MaxGuestInstrs, HTMCapacity) are likewise kept, and
+// PreemptMemOps uses a negative value, not 0, to disable preemption.
+func (cfg Config) normalized() Config {
+	def := DefaultConfig(cfg.Scheme)
+	if cfg.Cost == (core.CostModel{}) {
+		cfg.Cost = def.Cost
 	}
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = def.MemBytes
+	}
+	if cfg.HashBits == 0 {
+		cfg.HashBits = def.HashBits
+	}
+	if cfg.HTMBits == 0 {
+		cfg.HTMBits = def.HTMBits
+	}
+	if cfg.StackBytes == 0 {
+		cfg.StackBytes = def.StackBytes
+	}
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = def.MaxThreads
+	}
+	if cfg.QuantumTBs == 0 {
+		cfg.QuantumTBs = def.QuantumTBs
+	}
+	if cfg.PreemptMemOps == 0 {
+		cfg.PreemptMemOps = def.PreemptMemOps
+	}
+	if cfg.HTMInterference == 0 {
+		cfg.HTMInterference = def.HTMInterference
+	}
+	return cfg
+}
+
+// NewMachine builds a machine with the configured scheme. Zero-valued
+// sizing fields of cfg are filled from DefaultConfig (see Config.normalized).
+func NewMachine(cfg Config) (*Machine, error) {
+	cfg = cfg.normalized()
 	m := &Machine{
 		cfg:      cfg,
 		mem:      mmu.New(cfg.MemBytes),
 		excl:     newExclusive(),
-		tbs:      make(map[uint32]*TB),
 		heapNext: DefaultHeapBase,
 		futexes:  make(map[uint32]*futexQueue),
 		barriers: make(map[uint32]*guestBarrier),
@@ -305,17 +342,25 @@ func (m *Machine) SpawnThread(entry uint32, args ...uint32) (*CPU, error) {
 }
 
 func (m *Machine) newCPU(entry uint32, startClock uint64, args []uint32) (*CPU, error) {
+	// Reserve a tid and a slot under one lock so concurrent guest spawns
+	// cannot both pass the limit check and overshoot MaxThreads; the
+	// reservation (not a re-check at append time) also means a spawn that
+	// passed the check can never lose a race after mapping its stack.
 	m.cpuMu.Lock()
-	if len(m.cpus) >= m.cfg.MaxThreads {
+	if len(m.cpus)+m.cpuReserved >= m.cfg.MaxThreads {
 		m.cpuMu.Unlock()
 		return nil, fmt.Errorf("engine: thread limit %d reached", m.cfg.MaxThreads)
 	}
+	m.cpuReserved++
 	m.nextTID++
 	tid := m.nextTID
 	m.cpuMu.Unlock()
 
 	stackTop, err := m.mapStack(tid)
 	if err != nil {
+		m.cpuMu.Lock()
+		m.cpuReserved--
+		m.cpuMu.Unlock()
 		return nil, err
 	}
 	c := newCPU(m, tid)
@@ -333,6 +378,7 @@ func (m *Machine) newCPU(entry uint32, startClock uint64, args []uint32) (*CPU, 
 
 	m.cpuMu.Lock()
 	m.cpus = append(m.cpus, c)
+	m.cpuReserved--
 	m.cpuMu.Unlock()
 	m.runningCPUs.Add(1)
 
@@ -407,13 +453,13 @@ func (m *Machine) AggregateStats() stats.CPU {
 // chargeExclusiveEntry charges the requester for a stop-the-world section
 // (base + per-running-vCPU park cost) and publishes the section so every
 // other vCPU pays its witness stall.
+//
+// This sits on the critical path of every HST and PICO-ST SC, so the
+// running-vCPU count comes from the maintained runningCPUs counter — one
+// atomic load — rather than copying and scanning the cpus slice under
+// cpuMu, which made each SC O(num vCPUs) and serialized it against spawns.
 func (m *Machine) chargeExclusiveEntry(c *CPU) {
-	n := 0
-	for _, other := range m.CPUs() {
-		if !other.haltedFlag.Load() {
-			n++
-		}
-	}
+	n := int(m.runningCPUs.Load())
 	cost := m.cfg.Cost.ExclusiveBase
 	if n > 1 {
 		cost += uint64(n-1) * m.cfg.Cost.ExclusivePerCPU
@@ -425,15 +471,19 @@ func (m *Machine) chargeExclusiveEntry(c *CPU) {
 }
 
 // tbFor returns the translation block at pc, translating on a shared-cache
-// miss. Translation inside an open PICO-HTM window aborts the transaction —
-// the paper's "QEMU code becomes part of the transaction" effect.
+// miss. The shared lookup is lock-free (tbcache.go) and translation runs
+// outside any critical section, so concurrent misses on different PCs
+// proceed in parallel; racing misses on the same pc adopt the first
+// published block. Translation inside an open PICO-HTM window aborts the
+// transaction — the paper's "QEMU code becomes part of the transaction"
+// effect.
 func (m *Machine) tbFor(c *CPU, pc uint32) (*TB, error) {
 	if tb := c.localTBs[pc]; tb != nil {
 		c.charge(stats.CompNative, m.cfg.Cost.TBLookup)
 		return tb, nil
 	}
-	m.tbMu.Lock()
-	tb := m.tbs[pc]
+	c.st.TBSharedLookups++
+	tb := m.tbs.get(pc)
 	if tb == nil {
 		if c.mon.Txn != nil && !c.mon.Txn.Done() {
 			c.mon.Txn.AbortNow(htm.ReasonEmulation)
@@ -449,14 +499,18 @@ func (m *Machine) tbFor(c *CPU, pc uint32) (*TB, error) {
 		}
 		block, err := translate.Block(fetch, pc, m.topts)
 		if err != nil {
-			m.tbMu.Unlock()
 			return nil, err
 		}
-		tb = &TB{block: block}
-		m.tbs[pc] = tb
+		// The vCPU did the translation work whether or not its block wins
+		// the publish race, so it pays the translate cost either way.
+		var won bool
+		tb, won = m.tbs.insert(pc, &TB{block: block})
+		c.st.TBTranslations++
+		if !won {
+			c.st.TBRaceDiscards++
+		}
 		c.charge(stats.CompNative, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
 	}
-	m.tbMu.Unlock()
 	c.localTBs[pc] = tb
 	c.charge(stats.CompNative, m.cfg.Cost.TBLookup)
 	return tb, nil

@@ -12,9 +12,12 @@ import (
 //
 // It also anchors the virtual-time model: the requester pays the park cost
 // (base + per-vCPU), and every other vCPU is charged a fixed stall per
-// section it witnesses (Machine.witnessStalls) — so a stop-the-world costs
-// the whole machine O(threads) cycles per section, as on the paper's QEMU,
-// without artificially merging the drifting virtual clocks.
+// section it witnesses (CPU.witnessStalls) — so a stop-the-world costs the
+// whole machine O(threads) VIRTUAL cycles per section, as on the paper's
+// QEMU, without artificially merging the drifting virtual clocks. The host
+// cost of the accounting itself is O(1): chargeExclusiveEntry reads the
+// maintained runningCPUs counter instead of scanning the vCPU list, since
+// it runs on every HST/PICO-ST SC.
 type exclusive struct {
 	mu      sync.Mutex
 	cond    *sync.Cond

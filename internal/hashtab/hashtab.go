@@ -34,8 +34,10 @@ type Table struct {
 
 // New creates a table with 2^bits entries (covering 2^(bits+2) bytes of
 // guest address space before aliasing). The paper's configuration maps a
-// 4 GiB guest space into a 256 MiB region; the default used by the engine is
-// bits = 22 (16 MiB of host memory).
+// 4 GiB guest space into a 256 MiB region; the default used by the engine
+// (engine.DefaultConfig) is bits = 14 — 64 KiB of host memory, sized to the
+// emulator's 4 GiB guest space at the same aliasing rate the collision
+// census (Table I) found negligible.
 func New(bits uint) (*Table, error) {
 	if bits < 4 || bits > 28 {
 		return nil, fmt.Errorf("hashtab: bits %d out of range [4,28]", bits)

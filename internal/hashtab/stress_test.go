@@ -1,0 +1,96 @@
+package hashtab
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSetWaitLockMutualExclusion models HST-WEAK's SC protocol from many
+// goroutines at once: each thread publishes ownership with SetWait (the LL
+// side, which must respect an in-progress SC's entry lock), then tries to
+// Lock the entry for its critical section. No two threads may ever be
+// inside the critical section together, and a locked entry must never be
+// observed clobbered by a racing SetWait. Run with -race.
+func TestSetWaitLockMutualExclusion(t *testing.T) {
+	tab, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addr = uint32(0x1000)
+	const workers = 8
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+
+	var inCrit atomic.Int32
+	var overlaps, clobbers atomic.Int32
+	var scWins atomic.Uint64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid uint32) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				tab.SetWait(addr, tid) // LL: publish ownership, honouring the lock
+				if !tab.Lock(addr, tid) {
+					continue // another thread's LL/store took the entry — SC fails
+				}
+				if inCrit.Add(1) != 1 {
+					overlaps.Add(1)
+				}
+				if tab.Get(addr) != tid|LockBit {
+					clobbers.Add(1) // a SetWait overwrote a locked entry
+				}
+				inCrit.Add(-1)
+				tab.Unlock(addr, tid)
+				scWins.Add(1)
+			}
+		}(uint32(w) + 1)
+	}
+	close(start)
+	wg.Wait()
+
+	if n := overlaps.Load(); n != 0 {
+		t.Errorf("%d overlapping SC critical sections", n)
+	}
+	if n := clobbers.Load(); n != 0 {
+		t.Errorf("%d locked entries clobbered by SetWait", n)
+	}
+	if scWins.Load() == 0 {
+		t.Error("no SC ever entered its critical section")
+	}
+	if tab.Locked(addr) {
+		t.Error("entry left locked after all workers unlocked")
+	}
+}
+
+// TestSetWaitRacingSetters: plain ownership races (no locks involved) must
+// always leave the entry owned by one of the racers — never a torn or
+// stale-locked value.
+func TestSetWaitRacingSetters(t *testing.T) {
+	tab, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addr = uint32(0x40)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid uint32) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tab.SetWait(addr, tid)
+			}
+		}(uint32(w) + 1)
+	}
+	wg.Wait()
+	owner := tab.Get(addr)
+	if owner == Empty || owner > workers {
+		t.Fatalf("final owner %d is not one of the racing tids", owner)
+	}
+}

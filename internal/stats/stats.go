@@ -57,6 +57,13 @@ type CPU struct {
 	HTMAborts     uint64
 	ExclSections  uint64 // stop-the-world sections entered
 
+	// Translation-cache events (the host-side contention story: shared
+	// lookups are lock-free, and racing same-pc translations discard the
+	// loser's block).
+	TBSharedLookups uint64 // local-cache misses that consulted the shared TB cache
+	TBTranslations  uint64 // blocks this vCPU translated itself
+	TBRaceDiscards  uint64 // translations discarded after losing the publish race
+
 	// Virtual cycles by component.
 	Cycles [NumComponents]uint64
 }
@@ -88,6 +95,9 @@ func (c *CPU) Add(other *CPU) {
 	c.HTMCommits += other.HTMCommits
 	c.HTMAborts += other.HTMAborts
 	c.ExclSections += other.ExclSections
+	c.TBSharedLookups += other.TBSharedLookups
+	c.TBTranslations += other.TBTranslations
+	c.TBRaceDiscards += other.TBRaceDiscards
 	for i := range c.Cycles {
 		c.Cycles[i] += other.Cycles[i]
 	}
