@@ -9,6 +9,7 @@
 //	atomemu-bench correctness  lock-free stack ABA audit (§IV-A)
 //	atomemu-bench litmus       Seq1–Seq4 atomicity matrix (§IV-A)
 //	atomemu-bench contention   host-side SC/TB-dispatch throughput sweep
+//	atomemu-bench resilience   HTM schemes at livelock scale, strict vs resilient
 //	atomemu-bench all          everything above
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
@@ -44,7 +45,7 @@ func run(args []string) error {
 	stackNodes := fs.Uint("stack-nodes", 64, "stack nodes for the correctness run")
 	attempts := fs.Int("attempts", 6, "PICO-CAS retry attempts for the correctness run")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -152,10 +153,18 @@ func run(args []string) error {
 			c.Render(os.Stdout)
 			return saveCSV("contention.csv", c.CSV)
 		},
+		"resilience": func() error {
+			r, err := harness.RunResilience(*stackThreads, *stackOps, uint32(*stackNodes), progress)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return saveCSV("resilience.csv", r.CSV)
+		},
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention"} {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -85,15 +85,46 @@ type Monitor struct {
 	// AbortStreak counts consecutive transaction aborts for livelock
 	// detection.
 	AbortStreak int
+
+	// Degraded marks the current LL/SC window as running on the portable
+	// fallback path after an abort storm (PICO-HTM, HST-HTM).
+	Degraded bool
+
+	// Res is the monitor's resilience state. Unlike the architectural
+	// fields it survives Reset: cooldowns and the backoff RNG span many
+	// LL/SC windows.
+	Res ResState
 }
 
-// Reset clears the monitor.
+// ResState is the per-monitor resilience bookkeeping (see Resilience).
+type ResState struct {
+	// Rng is the per-vCPU xorshift state behind backoff jitter; 0 means
+	// not yet seeded.
+	Rng uint64
+	// CooldownLeft is how many more LL windows run degraded before the
+	// transactional fast path is retried.
+	CooldownLeft int
+	// Watcher is true while this monitor holds a TM store watcher (so
+	// NotifyStore stays live across its degraded windows).
+	Watcher bool
+	// DegradedWord is the TM slot-word snapshot taken at a degraded LL.
+	DegradedWord uint64
+}
+
+// Reset clears the monitor. A still-open transaction is aborted first:
+// every SC path (including address-mismatch failures) funnels through
+// Reset, and dropping a live Txn would leak its write locks and the TM's
+// active count — after which every plain store pays NotifyStore forever.
 func (m *Monitor) Reset() {
+	if m.Txn != nil && !m.Txn.Done() {
+		m.Txn.AbortNow(htm.ReasonConflict)
+	}
 	m.Active = false
 	m.Addr = 0
 	m.Val = 0
 	m.broken.Store(false)
 	m.Txn = nil
+	m.Degraded = false
 }
 
 // Break marks the monitor broken (cross-thread).
@@ -183,7 +214,8 @@ type StoreNotifier interface {
 
 // EmulationError reports a scheme-level failure that aborts the guest run —
 // the analogue of QEMU crashing or livelocking (the paper's PICO-HTM beyond
-// 8 threads).
+// 8 threads). With the default (resilient) configuration the HTM schemes
+// degrade instead of returning this; StrictPaper mode restores it.
 type EmulationError struct {
 	Scheme string
 	Reason string
@@ -191,6 +223,39 @@ type EmulationError struct {
 
 func (e *EmulationError) Error() string {
 	return fmt.Sprintf("core: scheme %s failed: %s", e.Scheme, e.Reason)
+}
+
+// WatchdogError is the structured diagnostic raised when the progress
+// watchdog detects a wedged vCPU (an SC-failure storm with no successes,
+// or a hash-entry lock whose holder never releases). It stops the machine
+// with enough context to identify the stuck resource instead of hanging.
+type WatchdogError struct {
+	Scheme      string
+	TID         uint32
+	Addr        uint32 // last SC address (or locked hash address)
+	Kind        string // "sc-failure storm" or "hash-entry lock spin"
+	Fails       uint64 // SC failures (or spins) accumulated without progress
+	AbortStreak int    // consecutive HTM aborts at trip time, if any
+	HashOwner   uint32 // hash-entry owner word, when the scheme has one
+	HasOwner    bool
+}
+
+func (e *WatchdogError) Error() string {
+	s := fmt.Sprintf("core: watchdog: %s on vCPU %d (scheme %s, addr %#08x, %d fails without progress",
+		e.Kind, e.TID, e.Scheme, e.Addr, e.Fails)
+	if e.AbortStreak > 0 {
+		s += fmt.Sprintf(", abort streak %d", e.AbortStreak)
+	}
+	if e.HasOwner {
+		s += fmt.Sprintf(", hash entry owner %#x", e.HashOwner)
+	}
+	return s + ")"
+}
+
+// HashOwnerReporter is implemented by schemes that can report the current
+// owner word of an address's hash entry, for watchdog diagnostics.
+type HashOwnerReporter interface {
+	HashOwner(addr uint32) (uint32, bool)
 }
 
 // CostModel holds the virtual-cycle charges used by the engine and schemes.
@@ -252,8 +317,9 @@ func DefaultCostModel() CostModel {
 // Deps carries the substrate objects a scheme may need.
 type Deps struct {
 	Cost *CostModel
-	Htab *HashTable // HST family store-test table
-	TM   *htm.TM    // HTM schemes
+	Htab *HashTable  // HST family store-test table
+	TM   *htm.TM     // HTM schemes
+	Res  *Resilience // HTM abort policy; nil means DefaultResilience
 }
 
 // SchemeNames lists every implemented scheme in the paper's presentation
@@ -272,6 +338,10 @@ func New(name string, deps Deps) (Scheme, error) {
 		cm := DefaultCostModel()
 		deps.Cost = &cm
 	}
+	if deps.Res == nil {
+		r := DefaultResilience()
+		deps.Res = &r
+	}
 	switch name {
 	case "pico-cas":
 		return NewPicoCAS(deps.Cost), nil
@@ -281,7 +351,7 @@ func New(name string, deps Deps) (Scheme, error) {
 		if deps.TM == nil {
 			return nil, fmt.Errorf("core: scheme pico-htm needs a TM")
 		}
-		return NewPicoHTM(deps.Cost, deps.TM), nil
+		return NewPicoHTM(deps.Cost, deps.TM, deps.Res), nil
 	case "hst":
 		if deps.Htab == nil {
 			return nil, fmt.Errorf("core: scheme hst needs a hash table")
@@ -296,7 +366,7 @@ func New(name string, deps Deps) (Scheme, error) {
 		if deps.Htab == nil || deps.TM == nil {
 			return nil, fmt.Errorf("core: scheme hst-htm needs a hash table and a TM")
 		}
-		return NewHSTHTM(deps.Cost, deps.Htab, deps.TM), nil
+		return NewHSTHTM(deps.Cost, deps.Htab, deps.TM, deps.Res), nil
 	case "pst":
 		return NewPST(deps.Cost), nil
 	case "pst-remap":

@@ -446,11 +446,12 @@ func TestPicoHTMDoomedWindowFailsSC(t *testing.T) {
 
 func TestPicoHTMLivelockDetection(t *testing.T) {
 	f := newFixture(t)
-	s := NewPicoHTM(f.scheme(t, "pico-cas").(*picoCAS).cost, f.tm).(*picoHTM)
+	res := &Resilience{StrictPaper: true}
+	s := NewPicoHTM(f.scheme(t, "pico-cas").(*picoCAS).cost, f.tm, res).(*picoHTM)
 	s.livelockLimit = 3
 	a := f.ctx(1)
 	// Force repeated aborts: hold a conflicting lock from another txn.
-	blocker := f.tm.Begin(func(addr uint32) (uint32, error) { return 0, nil })
+	blocker := f.tm.Begin(99, func(addr uint32) (uint32, error) { return 0, nil })
 	if err := blocker.Write(varAddr, 9); err != nil {
 		t.Fatal(err)
 	}

@@ -137,8 +137,25 @@ func (s *hstWeak) Portable() bool       { return true }
 func (s *hstWeak) LL(ctx Context, addr uint32) (uint32, error) {
 	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
 	// SetWait respects a concurrent SC's entry lock; overwriting it would
-	// let two SCs into their critical sections at once.
-	s.tab.SetWait(addr, ctx.TID())
+	// let two SCs into their critical sections at once. The spin is
+	// bounded: a holder that never releases (a wedged or faulted vCPU)
+	// raises a watchdog diagnostic instead of hanging this vCPU forever.
+	if !s.tab.SetWait(addr, ctx.TID()) {
+		budget := s.tab.SpinBudget
+		if budget <= 0 {
+			budget = hashtab.DefaultSpinBudget
+		}
+		ctx.Stats().WatchdogTrips++
+		return 0, &WatchdogError{
+			Scheme:    s.Name(),
+			TID:       ctx.TID(),
+			Addr:      addr,
+			Kind:      "hash-entry lock spin",
+			Fails:     uint64(budget),
+			HashOwner: s.tab.Get(addr),
+			HasOwner:  true,
+		}
+	}
 	v, f := ctx.Mem().LoadWord(addr)
 	if f != nil {
 		return 0, f
@@ -177,4 +194,14 @@ func (s *hstWeak) Clrex(ctx Context) { ctx.Monitor().Reset() }
 func (s *hst) NoteStore(ctx Context, addr uint32) {
 	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
 	s.set(ctx, addr, ctx.TID())
+}
+
+// HashOwner implements HashOwnerReporter for watchdog diagnostics.
+func (s *hst) HashOwner(addr uint32) (uint32, bool) {
+	return s.tab.Get(addr), true
+}
+
+// HashOwner implements HashOwnerReporter for watchdog diagnostics.
+func (s *hstWeak) HashOwner(addr uint32) (uint32, bool) {
+	return s.tab.Get(addr), true
 }

@@ -19,13 +19,21 @@ import (
 // entrySpaceBit|index<<2; the plain-store path publishes entry updates
 // through TM.NotifyStore at that synthetic address, which is how a
 // conflicting store aborts an in-flight SC.
+// Resilience: the default policy replaces the fixed attempt count with
+// reason-aware backoff — retryable aborts wait (exponential + per-tid
+// jitter) before re-issuing the transaction, non-retryable aborts and an
+// exhausted budget demote the monitor, after which SCs go straight to the
+// stop-the-world fallback for a cooldown's worth of windows instead of
+// burning a fresh abort storm each time. StrictPaper keeps the original
+// fixed-count behavior.
 type hstHTM struct {
 	plainLoads
 	cost *CostModel
 	tab  *hashtab.Table
 	tm   *htm.TM
+	res  Resilience
 	// fallbackAfter is the abort count after which the SC falls back to
-	// the stop-the-world path (forward progress guarantee).
+	// the stop-the-world path (StrictPaper's forward progress guarantee).
 	fallbackAfter int
 }
 
@@ -34,9 +42,14 @@ type hstHTM struct {
 // an HTM scheme is active (the engine's default layout does).
 const entrySpaceBit uint32 = 1 << 31
 
-// NewHSTHTM constructs the HST-HTM scheme.
-func NewHSTHTM(cost *CostModel, tab *hashtab.Table, tm *htm.TM) Scheme {
-	return &hstHTM{cost: cost, tab: tab, tm: tm, fallbackAfter: 8}
+// NewHSTHTM constructs the HST-HTM scheme. A nil res means the default
+// resilient policy; res.StrictPaper restores the fixed-count fallback.
+func NewHSTHTM(cost *CostModel, tab *hashtab.Table, tm *htm.TM, res *Resilience) Scheme {
+	r := DefaultResilience()
+	if res != nil {
+		r = res.normalized()
+	}
+	return &hstHTM{cost: cost, tab: tab, tm: tm, res: r, fallbackAfter: 8}
 }
 
 func (s *hstHTM) Name() string            { return "hst-htm" }
@@ -95,6 +108,35 @@ func (s *hstHTM) LL(ctx Context, addr uint32) (uint32, error) {
 	return v, nil
 }
 
+// scFallback is the HST stop-the-world critical section — the portable
+// guaranteed-progress path.
+func (s *hstHTM) scFallback(ctx Context, addr, val, tid uint32) (uint32, error) {
+	ctx.StartExclusive()
+	defer ctx.EndExclusive()
+	if !s.tab.CheckOwner(addr, tid) {
+		return 1, nil
+	}
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return 1, f
+	}
+	return 0, nil
+}
+
+// scAbort accounts one transactional-attempt abort and decides what the
+// SC does next: retry (after backoff), or demote and take the fallback.
+func (s *hstHTM) scAbort(ctx Context, reason htm.AbortReason, attempt int) (retry bool) {
+	ctx.Stats().HTMAborts++
+	ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+	if s.res.StrictPaper {
+		return true // the attempt counter provides the bound
+	}
+	if s.res.backoffRetry(ctx, reason, attempt) {
+		return true
+	}
+	s.res.demote(ctx)
+	return false
+}
+
 func (s *hstHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	defer m.Reset()
@@ -102,29 +144,26 @@ func (s *hstHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 		return 1, nil
 	}
 	tid := ctx.TID()
+	if !s.res.StrictPaper && s.res.inCooldown(m) {
+		// Demoted: skip the transactional attempts for the rest of the
+		// cooldown instead of re-running an abort storm per SC.
+		return s.scFallback(ctx, addr, val, tid)
+	}
 	load, store := s.txLoad(ctx), s.txStore(ctx)
-	for attempt := 0; ; attempt++ {
-		if attempt >= s.fallbackAfter {
-			// Fallback path: the HST stop-the-world critical section.
-			ctx.StartExclusive()
-			defer ctx.EndExclusive()
-			if !s.tab.CheckOwner(addr, tid) {
-				return 1, nil
-			}
-			if f := ctx.Mem().StoreWord(addr, val); f != nil {
-				return 1, f
-			}
-			return 0, nil
+	for attempt := 1; ; attempt++ {
+		if s.res.StrictPaper && attempt > s.fallbackAfter {
+			return s.scFallback(ctx, addr, val, tid)
 		}
 		ctx.Charge(stats.CompHTM, s.cost.HTMBegin)
-		txn := s.tm.Begin(load)
+		txn := s.tm.Begin(tid, load)
 		owner, err := txn.Read(s.entryAddr(addr))
 		if err != nil {
 			var ab *htm.Abort
 			if errors.As(err, &ab) {
-				ctx.Stats().HTMAborts++
-				ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
-				continue
+				if s.scAbort(ctx, ab.Reason, attempt) {
+					continue
+				}
+				return s.scFallback(ctx, addr, val, tid)
 			}
 			return 1, err
 		}
@@ -134,16 +173,23 @@ func (s *hstHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 			return 1, nil
 		}
 		if err := txn.Write(addr, val); err != nil {
-			ctx.Stats().HTMAborts++
-			ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
-			continue
+			reason := htm.ReasonConflict
+			var ab *htm.Abort
+			if errors.As(err, &ab) {
+				reason = ab.Reason
+			}
+			if s.scAbort(ctx, reason, attempt) {
+				continue
+			}
+			return s.scFallback(ctx, addr, val, tid)
 		}
 		if err := txn.Commit(store); err != nil {
 			var ab *htm.Abort
 			if errors.As(err, &ab) {
-				ctx.Stats().HTMAborts++
-				ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
-				continue
+				if s.scAbort(ctx, ab.Reason, attempt) {
+					continue
+				}
+				return s.scFallback(ctx, addr, val, tid)
 			}
 			return 1, err
 		}
@@ -180,4 +226,9 @@ func (s *hstHTM) NoteStore(ctx Context, addr uint32) {
 	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
 	s.setAndNotify(addr, ctx.TID())
 	s.tm.NotifyStore(addr)
+}
+
+// HashOwner implements HashOwnerReporter for watchdog diagnostics.
+func (s *hstHTM) HashOwner(addr uint32) (uint32, bool) {
+	return s.tab.Get(addr), true
 }

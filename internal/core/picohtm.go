@@ -25,17 +25,35 @@ import (
 // retry loop. Stores executed doomed are applied directly; LL/SC regions
 // write only thread-private scratch before the SC in all the paper's
 // workloads, so this matches the fallback-path semantics.
+//
+// Resilience: with the default policy the livelock is survived instead of
+// reported. Retryable aborts at the LL back off and retry (Resilience);
+// once the budget is exhausted — or an abort reason that retrying cannot
+// fix occurs — the monitor demotes to a degraded window for a cooldown:
+// the LL snapshots the TM slot word of the monitored address and loads
+// directly, and the SC revalidates the snapshot and the value inside a
+// stop-the-world section. Every store path (transactional commits, plain
+// instrumented stores, other vCPUs' degraded SCs) changes the slot word,
+// so the degraded window keeps strong atomicity — at HST-like cost. A TM
+// store watcher keeps NotifyStore live while any monitor is degraded.
 type picoHTM struct {
 	cost *CostModel
 	tm   *htm.TM
+	res  Resilience
 	// livelockLimit is the number of consecutive aborts after which the
-	// scheme declares livelock.
+	// scheme declares livelock (StrictPaper mode).
 	livelockLimit int
 }
 
-// NewPicoHTM constructs the PICO-HTM scheme.
-func NewPicoHTM(cost *CostModel, tm *htm.TM) Scheme {
-	return &picoHTM{cost: cost, tm: tm, livelockLimit: 48}
+// NewPicoHTM constructs the PICO-HTM scheme. A nil res means the default
+// resilient policy; res.StrictPaper restores the paper's crash-on-livelock
+// behavior.
+func NewPicoHTM(cost *CostModel, tm *htm.TM, res *Resilience) Scheme {
+	r := DefaultResilience()
+	if res != nil {
+		r = res.normalized()
+	}
+	return &picoHTM{cost: cost, tm: tm, res: r, livelockLimit: 48}
 }
 
 func (s *picoHTM) Name() string            { return "pico-htm" }
@@ -68,13 +86,18 @@ func (s *picoHTM) memStore(ctx Context) func(addr, val uint32) error {
 	}
 }
 
-// noteAbort bumps the livelock counter; the returned error is non-nil when
-// the scheme declares livelock.
-func (s *picoHTM) noteAbort(ctx Context) error {
-	m := ctx.Monitor()
-	m.AbortStreak++
+// chargeAbort bumps the abort streak and accounts one abort.
+func (s *picoHTM) chargeAbort(ctx Context) {
+	ctx.Monitor().AbortStreak++
 	ctx.Stats().HTMAborts++
 	ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
+}
+
+// noteAbort (StrictPaper mode) bumps the livelock counter; the returned
+// error is non-nil when the scheme declares livelock.
+func (s *picoHTM) noteAbort(ctx Context) error {
+	s.chargeAbort(ctx)
+	m := ctx.Monitor()
 	if m.AbortStreak > s.livelockLimit {
 		return &EmulationError{
 			Scheme: s.Name(),
@@ -84,6 +107,51 @@ func (s *picoHTM) noteAbort(ctx Context) error {
 	return nil
 }
 
+// demoteMon switches the monitor to degraded windows for a cooldown,
+// taking a store watcher so NotifyStore stays observable meanwhile.
+func (s *picoHTM) demoteMon(ctx Context) {
+	m := ctx.Monitor()
+	if !m.Res.Watcher {
+		s.tm.AddStoreWatcher()
+		m.Res.Watcher = true
+	}
+	s.res.demote(ctx)
+}
+
+// scFailed decides, after a failed resilient window, whether the next
+// windows should run degraded. Retries are impossible at the SC (the guest
+// rewinds to the LL itself), so only the demotion decision is made here.
+func (s *picoHTM) scFailed(ctx Context, reason htm.AbortReason) {
+	if s.res.StrictPaper {
+		return
+	}
+	m := ctx.Monitor()
+	if !retryable(reason) || m.AbortStreak > s.res.MaxRetries {
+		s.demoteMon(ctx)
+	}
+}
+
+// llDegraded opens a degraded (non-transactional) LL/SC window. The slot
+// word is snapshotted BEFORE the value load: a store between the two then
+// shows up as a word change at the SC, never as an unnoticed same-value
+// swap (ABA).
+func (s *picoHTM) llDegraded(ctx Context, addr uint32) (uint32, error) {
+	m := ctx.Monitor()
+	word := s.tm.SlotWord(addr)
+	v, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		m.Reset()
+		return 0, f
+	}
+	m.Active = true
+	m.Addr = addr
+	m.Val = v
+	m.Txn = nil
+	m.Degraded = true
+	m.Res.DegradedWord = word
+	return v, nil
+}
+
 func (s *picoHTM) LL(ctx Context, addr uint32) (uint32, error) {
 	m := ctx.Monitor()
 	if m.Txn != nil && !m.Txn.Done() {
@@ -91,18 +159,39 @@ func (s *picoHTM) LL(ctx Context, addr uint32) (uint32, error) {
 		// new LL re-arms the monitor.
 		m.Txn.AbortNow(htm.ReasonConflict)
 	}
+	if !s.res.StrictPaper {
+		if s.res.inCooldown(m) {
+			return s.llDegraded(ctx, addr)
+		}
+		if m.Res.Watcher {
+			// Cooldown expired: retry the transactional fast path with a
+			// clean slate and release the store watcher.
+			s.tm.RemoveStoreWatcher()
+			m.Res.Watcher = false
+			m.AbortStreak = 0
+		}
+	}
 	for {
 		ctx.Charge(stats.CompHTM, s.cost.HTMBegin)
-		txn := s.tm.Begin(s.memLoad(ctx))
+		txn := s.tm.Begin(ctx.TID(), s.memLoad(ctx))
 		v, err := txn.Read(addr)
 		if err != nil {
 			var ab *htm.Abort
 			if errors.As(err, &ab) {
-				if lerr := s.noteAbort(ctx); lerr != nil {
-					m.Reset()
-					return 0, lerr
+				if s.res.StrictPaper {
+					if lerr := s.noteAbort(ctx); lerr != nil {
+						m.Reset()
+						return 0, lerr
+					}
+					continue
 				}
-				continue
+				s.chargeAbort(ctx)
+				if s.res.backoffRetry(ctx, ab.Reason, m.AbortStreak) {
+					continue
+				}
+				s.demoteMon(ctx)
+				s.res.inCooldown(m) // consume this window's cooldown slot
+				return s.llDegraded(ctx, addr)
 			}
 			txn.AbortNow(htm.ReasonConflict)
 			m.Reset()
@@ -116,8 +205,40 @@ func (s *picoHTM) LL(ctx Context, addr uint32) (uint32, error) {
 	}
 }
 
+// scDegraded validates and completes a degraded window under
+// stop-the-world: the SC succeeds only if the slot word still matches the
+// LL snapshot and the memory value is unchanged. Parked vCPUs holding open
+// transactions cannot have published anything (commits never span a
+// checkpoint), and the NotifyStore on success poisons any such transaction
+// that had eagerly locked the slot.
+func (s *picoHTM) scDegraded(ctx Context, addr, val uint32) (uint32, error) {
+	m := ctx.Monitor()
+	defer m.Reset()
+	if !m.Active || m.Addr != addr {
+		return 1, nil
+	}
+	ctx.StartExclusive()
+	defer ctx.EndExclusive()
+	cur, f := ctx.Mem().LoadWord(addr)
+	if f != nil {
+		return 1, f
+	}
+	if s.tm.SlotWord(addr) != m.Res.DegradedWord || cur != m.Val {
+		return 1, nil
+	}
+	if f := ctx.Mem().StoreWord(addr, val); f != nil {
+		return 1, f
+	}
+	s.tm.NotifyStore(addr)
+	m.AbortStreak = 0
+	return 0, nil
+}
+
 func (s *picoHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
+	if m.Degraded {
+		return s.scDegraded(ctx, addr, val)
+	}
 	txn := m.Txn
 	defer m.Reset()
 	if !m.Active || m.Addr != addr || txn == nil {
@@ -126,23 +247,40 @@ func (s *picoHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 	if txn.Done() {
 		// Doomed window: an abort happened between LL and SC (emulation
 		// work or a conflicting access). It counts toward livelock.
-		if lerr := s.noteAbort(ctx); lerr != nil {
-			return 1, lerr
+		if s.res.StrictPaper {
+			if lerr := s.noteAbort(ctx); lerr != nil {
+				return 1, lerr
+			}
+			return 1, nil
 		}
+		s.chargeAbort(ctx)
+		reason, _ := txn.AbortReason()
+		s.scFailed(ctx, reason)
 		return 1, nil
 	}
 	if err := txn.Write(addr, val); err != nil {
-		if lerr := s.noteAbort(ctx); lerr != nil {
-			return 1, lerr
+		if s.res.StrictPaper {
+			if lerr := s.noteAbort(ctx); lerr != nil {
+				return 1, lerr
+			}
+			return 1, nil
 		}
+		s.chargeAbort(ctx)
+		reason, _ := txn.AbortReason()
+		s.scFailed(ctx, reason)
 		return 1, nil
 	}
 	if err := txn.Commit(s.memStore(ctx)); err != nil {
 		var ab *htm.Abort
 		if errors.As(err, &ab) {
-			if lerr := s.noteAbort(ctx); lerr != nil {
-				return 1, lerr
+			if s.res.StrictPaper {
+				if lerr := s.noteAbort(ctx); lerr != nil {
+					return 1, lerr
+				}
+				return 1, nil
 			}
+			s.chargeAbort(ctx)
+			s.scFailed(ctx, ab.Reason)
 			return 1, nil
 		}
 		return 1, err
@@ -224,8 +362,25 @@ func (s *picoHTM) Store(ctx Context, addr, val uint32) error {
 	if f := ctx.Mem().StoreWord(addr, val); f != nil {
 		return f
 	}
-	s.tm.NotifyStore(addr)
+	s.notifyOwnStore(ctx, addr)
 	return nil
+}
+
+// notifyOwnStore publishes a direct store for strong atomicity. Inside a
+// degraded window, a store to an address aliasing the monitored slot
+// would bump the slot word and fail our own SC forever (the guest retries
+// the identical window); the CAS adopts exactly our own bump into the
+// snapshot — if it loses (the word moved, or a transaction holds the
+// lock) the plain NotifyStore runs and the window conservatively fails.
+func (s *picoHTM) notifyOwnStore(ctx Context, addr uint32) {
+	m := ctx.Monitor()
+	if m.Degraded && m.Active && s.tm.SameSlot(addr, m.Addr) {
+		if next, ok := s.tm.BumpIfWord(m.Addr, m.Res.DegradedWord); ok {
+			m.Res.DegradedWord = next
+			return
+		}
+	}
+	s.tm.NotifyStore(addr)
 }
 
 func (s *picoHTM) StoreB(ctx Context, addr uint32, val uint8) error {
@@ -245,7 +400,7 @@ func (s *picoHTM) StoreB(ctx Context, addr uint32, val uint8) error {
 	if f := ctx.Mem().StoreByte(addr, val); f != nil {
 		return f
 	}
-	s.tm.NotifyStore(addr &^ 3)
+	s.notifyOwnStore(ctx, addr&^3)
 	return nil
 }
 

@@ -54,6 +54,15 @@ type CPU struct {
 	// fire.
 	preemptLeft int
 
+	// Progress-watchdog state (instruction-count based, no timers): the
+	// run loop samples the SC counters every watchdogEvery blocks and
+	// accumulates failures seen since the last success. lastSCAddr is the
+	// most recent SC target, for the trip diagnostic.
+	wdSucc     uint64
+	wdFails    uint64
+	wdStalled  uint64
+	lastSCAddr uint32
+
 	halted     bool
 	haltedFlag atomic.Bool
 	exitCode   uint32
@@ -176,6 +185,46 @@ func (c *CPU) finish() {
 	}
 }
 
+// watchdogEvery is how many blocks run between progress-watchdog samples.
+const watchdogEvery = 1024
+
+// watchdogCheck trips the machine when this vCPU has accumulated
+// WatchdogSCFails SC failures without a single success — an SC-failure
+// storm (a stuck monitor, a wedged lock holder, a scheme bug) that would
+// otherwise spin forever. Purely instruction-count based: no timers, so
+// paused or slow runs never trip spuriously.
+func (c *CPU) watchdogCheck() {
+	limit := c.m.cfg.WatchdogSCFails
+	if limit <= 0 {
+		return
+	}
+	succ := c.st.SCs - c.st.SCFails
+	if succ != c.wdSucc {
+		c.wdSucc = succ
+		c.wdFails = c.st.SCFails
+		c.wdStalled = 0
+		return
+	}
+	c.wdStalled += c.st.SCFails - c.wdFails
+	c.wdFails = c.st.SCFails
+	if c.wdStalled <= uint64(limit) {
+		return
+	}
+	c.st.WatchdogTrips++
+	werr := &core.WatchdogError{
+		Scheme:      c.m.scheme.Name(),
+		TID:         c.tid,
+		Addr:        c.lastSCAddr,
+		Kind:        "sc-failure storm",
+		Fails:       c.wdStalled,
+		AbortStreak: c.mon.AbortStreak,
+	}
+	if ho, ok := c.m.scheme.(core.HashOwnerReporter); ok {
+		werr.HashOwner, werr.HasOwner = ho.HashOwner(c.lastSCAddr)
+	}
+	c.fail(werr)
+}
+
 // run is the vCPU main loop (QEMU's cpu_exec).
 func (c *CPU) run() {
 	e := c.m.excl
@@ -183,6 +232,15 @@ func (c *CPU) run() {
 	defer func() {
 		c.finish()
 		e.execEnd(c)
+	}()
+	// Contain panics: one bad block must stop the machine with a
+	// diagnostic, not kill the host process. Registered after the defer
+	// above so it recovers first; finish/execEnd then still run.
+	defer func() {
+		if r := recover(); r != nil {
+			c.fail(fmt.Errorf("engine: panic on vCPU %d (scheme %s) at pc %#08x: %v",
+				c.tid, c.m.scheme.Name(), c.pc, r))
+		}
 	}()
 	nextYield := c.yieldGap()
 	for n := 0; !c.halted; n++ {
@@ -192,6 +250,9 @@ func (c *CPU) run() {
 		e.checkpoint(c)
 		c.witnessStalls()
 		c.stepOnce()
+		if n%watchdogEvery == watchdogEvery-1 {
+			c.watchdogCheck()
+		}
 		if n >= nextYield {
 			// On a single-core host, spinning guests starve lock holders
 			// without this; the randomized gap sweeps the deschedule point
@@ -331,9 +392,9 @@ func (c *CPU) trace(w io.Writer) {
 		text = in.String()
 	}
 	c.m.outMu.Lock()
+	defer c.m.outMu.Unlock() // a panicking writer must not wedge outMu
 	fmt.Fprintf(w, "T%d %08x: %-24s r0=%08x r1=%08x sp=%08x\n",
 		c.tid, c.pc, text, c.slots[0], c.slots[1], c.slots[13])
-	c.m.outMu.Unlock()
 }
 
 // execBlock interprets one IR block.
@@ -549,6 +610,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			native += cost.MemAccess
 		case ir.SC:
 			c.maybePreempt()
+			c.lastSCAddr = s[in.A]
 			status, err := scheme.SC(c, s[in.A], s[in.B])
 			if err != nil {
 				c.schemeFault(err, in)

@@ -24,6 +24,7 @@ import (
 
 	"atomemu/internal/asm"
 	"atomemu/internal/core"
+	"atomemu/internal/faultinject"
 	"atomemu/internal/htm"
 	"atomemu/internal/ir"
 	"atomemu/internal/mmu"
@@ -92,6 +93,35 @@ type Config struct {
 	TraceWriter io.Writer
 	// ProfileCollisions enables the HST collision census (Table I support).
 	ProfileCollisions bool
+
+	// StrictPaper restores the paper's crash-on-livelock behavior: the HTM
+	// schemes return EmulationError after an abort storm instead of
+	// demoting to their portable fallback path. The figure/correctness
+	// harness sets it for reproduction fidelity; the default is resilient.
+	StrictPaper bool
+	// HTMMaxRetries bounds consecutive retryable aborts per LL/SC window
+	// before a monitor demotes (0 = default).
+	HTMMaxRetries int
+	// HTMBackoffBase and HTMBackoffMax shape the virtual-cycle exponential
+	// backoff between retries (0 = defaults).
+	HTMBackoffBase uint64
+	HTMBackoffMax  uint64
+	// FallbackCooldown is how many LL windows run on the fallback path
+	// after a demotion (0 = default).
+	FallbackCooldown int
+	// ResilienceSeed seeds the deterministic per-tid backoff jitter
+	// (0 = default).
+	ResilienceSeed uint64
+	// WatchdogSCFails trips the per-vCPU progress watchdog after this many
+	// SC failures with no intervening success. 0 selects the default;
+	// a negative value disables the watchdog.
+	WatchdogSCFails int64
+	// HashSpinBudget bounds hashtab.SetWait's spin on a locked entry
+	// (0 = hashtab.DefaultSpinBudget).
+	HashSpinBudget int
+	// FaultInjector, when set, is threaded through the TM, the hash table
+	// and the MMU for deterministic failure testing.
+	FaultInjector *faultinject.Injector
 }
 
 // DefaultConfig returns a ready-to-use configuration for the given scheme.
@@ -108,6 +138,7 @@ func DefaultConfig(scheme string) Config {
 		QuantumTBs:      32,
 		PreemptMemOps:   600,
 		HTMInterference: 16,
+		WatchdogSCFails: 1 << 17,
 	}
 }
 
@@ -201,6 +232,11 @@ func (cfg Config) normalized() Config {
 	if cfg.HTMInterference == 0 {
 		cfg.HTMInterference = def.HTMInterference
 	}
+	// WatchdogSCFails mirrors PreemptMemOps: 0 means default, negative
+	// disables.
+	if cfg.WatchdogSCFails == 0 {
+		cfg.WatchdogSCFails = def.WatchdogSCFails
+	}
 	return cfg
 }
 
@@ -216,14 +252,24 @@ func NewMachine(cfg Config) (*Machine, error) {
 		futexes:  make(map[uint32]*futexQueue),
 		barriers: make(map[uint32]*guestBarrier),
 	}
+	m.mem.SetInjector(cfg.FaultInjector)
 
-	deps := core.Deps{Cost: &m.cfg.Cost}
+	res := core.Resilience{
+		StrictPaper: cfg.StrictPaper,
+		MaxRetries:  cfg.HTMMaxRetries,
+		BackoffBase: cfg.HTMBackoffBase,
+		BackoffMax:  cfg.HTMBackoffMax,
+		Cooldown:    cfg.FallbackCooldown,
+		Seed:        cfg.ResilienceSeed,
+	}
+	deps := core.Deps{Cost: &m.cfg.Cost, Res: &res}
 	needsHTM := cfg.Scheme == "pico-htm" || cfg.Scheme == "hst-htm"
 	if needsHTM {
 		tm, err := htm.New(cfg.HTMBits, cfg.HTMCapacity)
 		if err != nil {
 			return nil, err
 		}
+		tm.SetInjector(cfg.FaultInjector)
 		m.tm = tm
 		deps.TM = tm
 	}
@@ -233,6 +279,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		tab.SpinBudget = cfg.HashSpinBudget
+		tab.SetInjector(cfg.FaultInjector)
 		deps.Htab = tab
 	}
 	var err error

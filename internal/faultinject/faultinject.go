@@ -1,0 +1,155 @@
+// Package faultinject provides deterministic, rule-based fault injection
+// for the emulator's concurrency substrate. Tests register rules that fire
+// at the Nth matching operation on a chosen vCPU (or address) and force a
+// failure that is hard to provoke naturally: a transaction abort, a
+// poisoned commit, a stuck hash-entry lock holder, or a memory fault.
+//
+// Determinism: rules match on logical operation counts, never on wall
+// clock. A rule's counter is advanced atomically per matching call, so a
+// rule scoped to one TID fires at an exact, reproducible point in that
+// vCPU's instruction stream. Rules scoped to "any vCPU" are deterministic
+// in aggregate (the Nth matching operation machine-wide) but which vCPU
+// observes the fault depends on scheduling.
+//
+// The injector is wired through htm.TM, hashtab.Table and mmu.Memory via
+// their SetInjector methods; a nil *Injector is valid everywhere and
+// injects nothing, so production paths pay one nil check.
+package faultinject
+
+import "sync/atomic"
+
+// Op identifies an instrumented operation site.
+type Op uint8
+
+const (
+	// OpTxnBegin fires when a vCPU opens an HTM transaction. ActAbort
+	// dooms the transaction: it aborts at its first read/write/commit.
+	OpTxnBegin Op = iota
+	// OpTxnCommit fires at transaction commit. ActAbort forces a
+	// conflict abort; ActPoison forces a non-transactional-store abort
+	// (as if a plain store had poisoned an owned slot).
+	OpTxnCommit
+	// OpHashUnlock fires when a vCPU releases a hash-entry LockBit.
+	// ActStickLock suppresses the release, simulating a stuck holder.
+	OpHashUnlock
+	// OpMemLoad and OpMemStore fire on guest word accesses through the
+	// MMU. ActFault forces a protection fault. The MMU has no vCPU
+	// identity, so these sites match rules with TID 0 (any) only.
+	OpMemLoad
+	OpMemStore
+)
+
+// String returns the site name for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpTxnBegin:
+		return "txn-begin"
+	case OpTxnCommit:
+		return "txn-commit"
+	case OpHashUnlock:
+		return "hash-unlock"
+	case OpMemLoad:
+		return "mem-load"
+	case OpMemStore:
+		return "mem-store"
+	}
+	return "unknown"
+}
+
+// Action is what an instrumented site should do when a rule fires.
+type Action uint8
+
+const (
+	// ActNone means no rule fired; proceed normally.
+	ActNone Action = iota
+	// ActAbort forces a transaction abort (htm sites).
+	ActAbort
+	// ActPoison forces a poisoned-slot abort (htm commit site).
+	ActPoison
+	// ActStickLock suppresses a hash-entry unlock (hashtab site).
+	ActStickLock
+	// ActFault forces a memory protection fault (mmu sites).
+	ActFault
+)
+
+// Rule describes one deterministic fault. The zero value of a filter
+// field means "match anything".
+type Rule struct {
+	// Op is the operation site this rule instruments.
+	Op Op
+	// Action is injected when the rule fires.
+	Action Action
+	// TID restricts the rule to one vCPU; 0 matches any vCPU.
+	TID uint32
+	// Addr restricts the rule to one guest address; 0 matches any.
+	Addr uint32
+	// After skips the first After matching operations, so the rule
+	// first fires at matching operation After+1.
+	After uint64
+	// Count bounds how many times the rule fires; 0 means no bound.
+	Count uint64
+}
+
+type ruleState struct {
+	Rule
+	seen  atomic.Uint64 // matching operations observed
+	fired atomic.Uint64 // faults actually injected
+}
+
+// Injector evaluates a fixed rule set. It is safe for concurrent use and
+// a nil receiver injects nothing.
+type Injector struct {
+	rules []*ruleState
+}
+
+// New builds an injector from rules. Rules are evaluated in order; the
+// first rule whose window covers the current matching operation wins.
+func New(rules ...Rule) *Injector {
+	in := &Injector{rules: make([]*ruleState, 0, len(rules))}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Check reports the action to inject at an operation site. Every call
+// that matches a rule's filters advances that rule's operation counter,
+// whether or not the rule's After/Count window covers it.
+func (in *Injector) Check(op Op, tid, addr uint32) Action {
+	if in == nil {
+		return ActNone
+	}
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.TID != 0 && r.TID != tid {
+			continue
+		}
+		if r.Addr != 0 && r.Addr != addr {
+			continue
+		}
+		n := r.seen.Add(1)
+		if n <= r.After {
+			continue
+		}
+		if r.Count != 0 && n > r.After+r.Count {
+			continue
+		}
+		r.fired.Add(1)
+		return r.Action
+	}
+	return ActNone
+}
+
+// Fired returns how many faults have been injected across all rules.
+func (in *Injector) Fired() uint64 {
+	if in == nil {
+		return 0
+	}
+	var n uint64
+	for _, r := range in.rules {
+		n += r.fired.Load()
+	}
+	return n
+}

@@ -64,6 +64,9 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 	ecfg := engine.DefaultConfig(cfg.Scheme)
 	ecfg.MaxGuestInstrs = 4_000_000_000
 	ecfg.ProfileCollisions = cfg.ProfileCollisions
+	// Paper-fidelity runs: HTM livelock crashes (Fig. 11's missing data
+	// points) instead of degrading to the resilient fallback.
+	ecfg.StrictPaper = true
 	m, err := engine.NewMachine(ecfg)
 	if err != nil {
 		return nil, err
@@ -91,8 +94,7 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 		Stats:       m.AggregateStats(),
 	}
 	if runErr != nil {
-		var ee *core.EmulationError
-		if asEmulationError(runErr, &ee) {
+		if isSchemeCrash(runErr) {
 			res.Crashed = true
 			res.CrashReason = runErr.Error()
 			return res, nil
@@ -106,9 +108,13 @@ func RunWorkload(cfg RunConfig) (*RunResult, error) {
 	return res, nil
 }
 
-// asEmulationError unwraps err looking for a scheme failure.
-func asEmulationError(err error, target **core.EmulationError) bool {
-	return errors.As(err, target)
+// isSchemeCrash reports whether err is a scheme-level failure (livelock
+// EmulationError or a watchdog trip) — reported as a crashed run, like the
+// paper's crashed QEMU — rather than an infrastructure error.
+func isSchemeCrash(err error) bool {
+	var ee *core.EmulationError
+	var we *core.WatchdogError
+	return errors.As(err, &ee) || errors.As(err, &we)
 }
 
 // StackRun is the §IV-A correctness experiment result for one scheme.
@@ -128,18 +134,30 @@ type StackRun struct {
 	// or the scheme failed.
 	Crashed bool
 	Reason  string
+	// VirtualTime is the run's execution time in model cycles.
+	VirtualTime uint64
+	// Stats aggregates all vCPU counters (retries, fallbacks, …).
+	Stats stats.CPU
 }
 
 // RunStack executes the lock-free-stack correctness experiment: threads
 // workers, totalOps pop+push pairs in all (the paper uses 16 threads and
-// 1,048,575 operations), nodes stack entries.
+// 1,048,575 operations), nodes stack entries. It runs in StrictPaper mode
+// so the paper's crash behavior reproduces; see RunResilience for the
+// degraded-but-completing counterpart.
 func RunStack(scheme string, threads int, totalOps uint64, nodes uint32) (*StackRun, error) {
+	cfg := engine.DefaultConfig(scheme)
+	cfg.MaxGuestInstrs = 4_000_000_000
+	cfg.StrictPaper = true
+	return runStack(cfg, threads, totalOps, nodes)
+}
+
+// runStack executes the stack experiment under an explicit engine config.
+func runStack(cfg engine.Config, threads int, totalOps uint64, nodes uint32) (*StackRun, error) {
 	sb, err := guestlib.BuildStackBench(0x10000, nodes)
 	if err != nil {
 		return nil, err
 	}
-	cfg := engine.DefaultConfig(scheme)
-	cfg.MaxGuestInstrs = 4_000_000_000
 	m, err := engine.NewMachine(cfg)
 	if err != nil {
 		return nil, err
@@ -160,10 +178,15 @@ func RunStack(scheme string, threads int, totalOps uint64, nodes uint32) (*Stack
 		}
 	}
 	runErr := m.Run()
-	out := &StackRun{Scheme: scheme, Threads: threads, Ops: per * uint64(threads)}
+	out := &StackRun{
+		Scheme:      cfg.Scheme,
+		Threads:     threads,
+		Ops:         per * uint64(threads),
+		VirtualTime: m.VirtualTime(),
+		Stats:       m.AggregateStats(),
+	}
 	if runErr != nil {
-		var ee *core.EmulationError
-		if asEmulationError(runErr, &ee) {
+		if isSchemeCrash(runErr) {
 			out.Crashed = true
 			out.Reason = runErr.Error()
 			return out, nil

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"atomemu/internal/engine"
+)
+
+// ResilienceRow is one (scheme, mode) run of the lock-free-stack bench.
+type ResilienceRow struct {
+	Scheme string
+	// Strict runs the paper-faithful policy (livelock crashes the run);
+	// otherwise the resilience layer degrades the scheme and completes.
+	Strict      bool
+	Threads     int
+	Crashed     bool
+	Reason      string
+	CorruptPct  float64
+	VirtualTime uint64
+	// Resilience counters (all zero in strict mode by construction).
+	Retries       uint64
+	BackoffWaits  uint64
+	Fallbacks     uint64
+	WatchdogTrips uint64
+}
+
+// Mode names the row's policy for display.
+func (r ResilienceRow) Mode() string {
+	if r.Strict {
+		return "strict"
+	}
+	return "resilient"
+}
+
+// Resilience is the robustness experiment: the HTM schemes driven through
+// the §IV-A lock-free stack at a thread count where PICO-HTM livelocks,
+// once under the paper's strict policy (reproducing the crash) and once
+// under the default resilient policy (degrading but completing with a
+// correct final stack).
+type Resilience struct {
+	Threads int
+	Ops     uint64
+	Nodes   uint32
+	Rows    []ResilienceRow
+}
+
+// ResilienceSchemes are the HTM-backed schemes the resilience layer covers.
+func ResilienceSchemes() []string { return []string{"pico-htm", "hst-htm"} }
+
+// RunResilience executes the experiment. threads <= 0 defaults to 16 (the
+// paper's stack experiment size, beyond PICO-HTM's 8-thread livelock
+// limit); totalOps <= 0 defaults to 1<<16 pairs; nodes <= 0 to 4096.
+func RunResilience(threads int, totalOps uint64, nodes uint32, progress Progress) (*Resilience, error) {
+	if progress == nil {
+		progress = noProgress
+	}
+	if threads <= 0 {
+		threads = 16
+	}
+	if totalOps == 0 {
+		totalOps = 1 << 16
+	}
+	if nodes == 0 {
+		nodes = 4096
+	}
+	exp := &Resilience{Threads: threads, Ops: totalOps, Nodes: nodes}
+	for _, scheme := range ResilienceSchemes() {
+		for _, strict := range []bool{true, false} {
+			cfg := engine.DefaultConfig(scheme)
+			cfg.MaxGuestInstrs = 4_000_000_000
+			cfg.StrictPaper = strict
+			run, err := runStack(cfg, threads, totalOps, nodes)
+			if err != nil {
+				return nil, fmt.Errorf("harness: resilience %s strict=%v: %w", scheme, strict, err)
+			}
+			row := ResilienceRow{
+				Scheme:        scheme,
+				Strict:        strict,
+				Threads:       threads,
+				Crashed:       run.Crashed,
+				Reason:        run.Reason,
+				CorruptPct:    run.CorruptPct,
+				VirtualTime:   run.VirtualTime,
+				Retries:       run.Stats.HTMRetries,
+				BackoffWaits:  run.Stats.HTMBackoffWaits,
+				Fallbacks:     run.Stats.SchemeFallbacks,
+				WatchdogTrips: run.Stats.WatchdogTrips,
+			}
+			if row.Crashed {
+				progress("%-9s %-9s t=%-3d CRASH: %s", scheme, row.Mode(), threads, row.Reason)
+			} else {
+				progress("%-9s %-9s t=%-3d vt=%-12d retries=%d fallbacks=%d corrupt=%.2f%%",
+					scheme, row.Mode(), threads, row.VirtualTime, row.Retries, row.Fallbacks, row.CorruptPct)
+			}
+			exp.Rows = append(exp.Rows, row)
+		}
+	}
+	return exp, nil
+}
+
+// Render writes the experiment as an aligned table.
+func (exp *Resilience) Render(w io.Writer) {
+	fmt.Fprintf(w, "Resilience — lock-free stack, %d threads, %d op pairs, %d nodes\n",
+		exp.Threads, exp.Ops, exp.Nodes)
+	fmt.Fprintf(w, "(strict = paper policy: HTM livelock aborts the run; resilient = default: degrade and complete)\n\n")
+	fmt.Fprintf(w, "  %-9s %-9s %-8s %10s %10s %10s %9s  %s\n",
+		"scheme", "mode", "outcome", "retries", "backoffs", "fallbacks", "corrupt%", "detail")
+	for _, r := range exp.Rows {
+		outcome := "ok"
+		detail := fmt.Sprintf("vt=%d", r.VirtualTime)
+		if r.Crashed {
+			outcome = "crash"
+			detail = r.Reason
+		}
+		fmt.Fprintf(w, "  %-9s %-9s %-8s %10d %10d %10d %9.2f  %s\n",
+			r.Scheme, r.Mode(), outcome, r.Retries, r.BackoffWaits, r.Fallbacks, r.CorruptPct, detail)
+	}
+}
+
+// CSV writes rows: scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,corrupt_pct,virtual_time.
+func (exp *Resilience) CSV(w io.Writer) {
+	fmt.Fprintln(w, "scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,corrupt_pct,virtual_time")
+	for _, r := range exp.Rows {
+		fmt.Fprintf(w, "%s,%s,%d,%v,%d,%d,%d,%d,%.4f,%d\n",
+			r.Scheme, r.Mode(), r.Threads, r.Crashed, r.Retries, r.BackoffWaits,
+			r.Fallbacks, r.WatchdogTrips, r.CorruptPct, r.VirtualTime)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"atomemu/internal/faultinject"
 )
 
 // LockBit marks an entry locked by an SC in progress (HST-WEAK).
@@ -26,10 +28,19 @@ const LockBit uint32 = 1 << 31
 // below LockBit.
 const Empty uint32 = 0
 
+// DefaultSpinBudget bounds SetWait's spin on a locked entry. An SC
+// critical section is a few dozen instructions, so 2^20 yields means the
+// holder is stuck (died, or was wedged by fault injection), not slow.
+const DefaultSpinBudget = 1 << 20
+
 // Table is the store-test hash table.
 type Table struct {
 	entries []atomic.Uint32
 	mask    uint32
+	// SpinBudget bounds SetWait's spin on a locked entry; 0 means
+	// DefaultSpinBudget. Set before the table is shared.
+	SpinBudget int
+	inj        *faultinject.Injector
 }
 
 // New creates a table with 2^bits entries (covering 2^(bits+2) bytes of
@@ -61,20 +72,36 @@ func (t *Table) Collides(a, b uint32) bool { return a != b && t.Index(a) == t.In
 // One atomic store; no locking.
 func (t *Table) Set(addr, tid uint32) { t.entries[t.Index(addr)].Store(tid) }
 
+// SetInjector installs a fault injector (nil to disable). Call before the
+// table is shared; the field is read without synchronization afterwards.
+func (t *Table) SetInjector(inj *faultinject.Injector) { t.inj = inj }
+
 // SetWait records tid like Set but respects an in-progress SC entry lock,
 // spinning until the entry is released. HST-WEAK's LL must use this: with no
 // stop-the-world around SC, a plain Set could clobber the lock bit and let
 // two SCs enter their critical sections at once.
-func (t *Table) SetWait(addr, tid uint32) {
+//
+// The spin is bounded by SpinBudget: SetWait returns false if the lock
+// holder never releases, so the caller can raise a watchdog diagnostic
+// instead of hanging the vCPU. A true return means tid owns the entry.
+func (t *Table) SetWait(addr, tid uint32) bool {
 	e := &t.entries[t.Index(addr)]
-	for {
+	budget := t.SpinBudget
+	if budget <= 0 {
+		budget = DefaultSpinBudget
+	}
+	for spins := 0; ; {
 		w := e.Load()
 		if w&LockBit != 0 {
+			spins++
+			if spins >= budget {
+				return false
+			}
 			runtime.Gosched()
 			continue
 		}
 		if e.CompareAndSwap(w, tid) {
-			return
+			return true
 		}
 	}
 }
@@ -98,6 +125,9 @@ func (t *Table) Lock(addr, tid uint32) bool {
 // overwrote the entry (a racing LL or store) the unlock is a no-op — their
 // claim stands.
 func (t *Table) Unlock(addr, tid uint32) {
+	if t.inj.Check(faultinject.OpHashUnlock, tid, addr) == faultinject.ActStickLock {
+		return // simulate a stuck holder: leave the LockBit set
+	}
 	t.entries[t.Index(addr)].CompareAndSwap(tid|LockBit, Empty)
 }
 

@@ -1,0 +1,58 @@
+package hashtab
+
+import (
+	"testing"
+
+	"atomemu/internal/faultinject"
+)
+
+func TestSetWaitBudgetExhaustion(t *testing.T) {
+	tab, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SpinBudget = 64
+	const addr = 0x40
+	tab.Set(addr, 1)
+	if !tab.Lock(addr, 1) {
+		t.Fatal("lock by owner should succeed")
+	}
+	if tab.SetWait(addr, 2) {
+		t.Fatal("SetWait must give up once the spin budget is exhausted")
+	}
+	tab.Unlock(addr, 1)
+	if !tab.SetWait(addr, 2) {
+		t.Fatal("SetWait should claim a released entry")
+	}
+	if got := tab.Get(addr); got != 2 {
+		t.Fatalf("entry owner = %d, want 2", got)
+	}
+}
+
+func TestStuckUnlockInjectionLeavesLockHeld(t *testing.T) {
+	tab, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SpinBudget = 32
+	tab.SetInjector(faultinject.New(faultinject.Rule{
+		Op: faultinject.OpHashUnlock, Action: faultinject.ActStickLock, TID: 1, Count: 1,
+	}))
+	const addr = 0x80
+	tab.Set(addr, 1)
+	if !tab.Lock(addr, 1) {
+		t.Fatal("lock should succeed")
+	}
+	tab.Unlock(addr, 1) // swallowed by the injected fault
+	if !tab.Locked(addr) {
+		t.Fatal("injected stuck unlock should leave the LockBit set")
+	}
+	if tab.SetWait(addr, 2) {
+		t.Fatal("SetWait must time out against a stuck holder")
+	}
+	// The rule's window is spent: a second unlock goes through.
+	tab.Unlock(addr, 1)
+	if tab.Locked(addr) {
+		t.Fatal("second unlock should release the entry")
+	}
+}

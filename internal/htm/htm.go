@@ -21,6 +21,8 @@ package htm
 import (
 	"fmt"
 	"sync/atomic"
+
+	"atomemu/internal/faultinject"
 )
 
 // AbortReason classifies why a transaction aborted.
@@ -79,8 +81,11 @@ type TM struct {
 	locks    []atomic.Uint64
 	mask     uint32
 	capacity int
-	active   atomic.Int64
-	nextID   atomic.Uint64
+	// active counts in-flight transactions plus registered store
+	// watchers; NotifyStore's fast path is one load of it.
+	active atomic.Int64
+	nextID atomic.Uint64
+	inj    *faultinject.Injector
 }
 
 // DefaultCapacity bounds a transaction's combined read+write set, modelling
@@ -105,9 +110,50 @@ func (tm *TM) slot(addr uint32) uint32 {
 	return (addr >> 2 * 0x9e3779b1) & tm.mask
 }
 
-// Active reports whether any transaction is in flight; the engine's plain
-// store path uses it to skip NotifyStore bookkeeping when HTM is unused.
+// SetInjector installs a fault injector (nil to disable). Call before any
+// transaction runs; the field is read without synchronization afterwards.
+func (tm *TM) SetInjector(inj *faultinject.Injector) { tm.inj = inj }
+
+// Active reports whether any transaction is in flight or any store watcher
+// is registered; the engine's plain store path uses it to skip NotifyStore
+// bookkeeping when HTM is unused.
 func (tm *TM) Active() bool { return tm.active.Load() > 0 }
+
+// AddStoreWatcher keeps NotifyStore live while no transaction is open, so
+// a vCPU running a degraded (non-transactional) LL/SC window still
+// observes version bumps from plain stores. Paired with
+// RemoveStoreWatcher.
+func (tm *TM) AddStoreWatcher() { tm.active.Add(1) }
+
+// RemoveStoreWatcher releases a watcher taken with AddStoreWatcher.
+func (tm *TM) RemoveStoreWatcher() { tm.active.Add(-1) }
+
+// SlotWord returns the current lock word of addr's slot. A degraded LL/SC
+// window snapshots it at LL (before loading the value) and revalidates at
+// SC: any committed transaction or notified plain store to an aliasing
+// address changes the word.
+func (tm *TM) SlotWord(addr uint32) uint64 {
+	return tm.locks[tm.slot(addr)].Load()
+}
+
+// SameSlot reports whether two addresses alias to the same lock slot.
+func (tm *TM) SameSlot(a, b uint32) bool { return tm.slot(a) == tm.slot(b) }
+
+// BumpIfWord advances addr's slot version by exactly one step iff the slot
+// still holds expect, returning the new word. A degraded vCPU uses it to
+// adopt its own in-window store's version bump into its snapshot: the CAS
+// guarantees no foreign bump is absorbed, and a locked expect word is
+// refused (bumping it would corrupt the owner's lock).
+func (tm *TM) BumpIfWord(addr uint32, expect uint64) (uint64, bool) {
+	if expect&lockedBit != 0 {
+		return expect, false
+	}
+	next := expect + versionInc
+	if tm.locks[tm.slot(addr)].CompareAndSwap(expect, next) {
+		return next, true
+	}
+	return expect, false
+}
 
 // NotifyStore records a non-transactional store for strong atomicity:
 // readers of the slot revalidate and fail; a transaction holding the slot's
@@ -147,24 +193,40 @@ type writeEntry struct {
 // Txn is one transaction. It is not safe for concurrent use by multiple
 // goroutines — like a hardware transaction, it belongs to one CPU.
 type Txn struct {
-	tm     *TM
-	id     uint64
-	load   func(addr uint32) (uint32, error)
-	reads  []readEntry
-	writes []writeEntry
-	done   bool
+	tm       *TM
+	id       uint64
+	tid      uint32
+	load     func(addr uint32) (uint32, error)
+	reads    []readEntry
+	writes   []writeEntry
+	done     bool
+	doomed   bool // fault injection: abort at the first memory op or commit
+	aborted  bool
+	lastWhy  AbortReason
+	lastAddr uint32
 }
 
-// Begin starts a transaction. load reads committed guest memory (it is
-// called for transactional reads that miss the write buffer).
-func (tm *TM) Begin(load func(addr uint32) (uint32, error)) *Txn {
+// Begin starts a transaction for vCPU tid. load reads committed guest
+// memory (it is called for transactional reads that miss the write
+// buffer).
+func (tm *TM) Begin(tid uint32, load func(addr uint32) (uint32, error)) *Txn {
 	tm.active.Add(1)
-	return &Txn{tm: tm, id: tm.nextID.Add(1), load: load}
+	t := &Txn{tm: tm, id: tm.nextID.Add(1), tid: tid, load: load}
+	if tm.inj.Check(faultinject.OpTxnBegin, tid, 0) == faultinject.ActAbort {
+		t.doomed = true
+	}
+	return t
 }
+
+// TID returns the vCPU the transaction belongs to.
+func (t *Txn) TID() uint32 { return t.tid }
 
 func (t *Txn) abort(reason AbortReason, addr uint32) *Abort {
 	t.releaseLocks(true)
 	t.finish()
+	t.aborted = true
+	t.lastWhy = reason
+	t.lastAddr = addr
 	return &Abort{Reason: reason, Addr: addr}
 }
 
@@ -191,10 +253,18 @@ func (t *Txn) releaseLocks(bump bool) {
 	}
 }
 
+// AbortReason returns why the transaction last aborted, if it has.
+func (t *Txn) AbortReason() (AbortReason, bool) {
+	return t.lastWhy, t.aborted
+}
+
 // Read performs a transactional load.
 func (t *Txn) Read(addr uint32) (uint32, error) {
 	if t.done {
 		return 0, &Abort{Reason: ReasonConflict, Addr: addr}
+	}
+	if t.doomed {
+		return 0, t.abort(ReasonConflict, addr)
 	}
 	// Read-own-writes.
 	for i := len(t.writes) - 1; i >= 0; i-- {
@@ -238,6 +308,9 @@ func (t *Txn) Write(addr, val uint32) error {
 	if t.done {
 		return &Abort{Reason: ReasonConflict, Addr: addr}
 	}
+	if t.doomed {
+		return t.abort(ReasonConflict, addr)
+	}
 	slot := t.tm.slot(addr)
 	s := &t.tm.locks[slot]
 	for {
@@ -278,6 +351,15 @@ func (t *Txn) Done() bool { return t.done }
 func (t *Txn) Commit(store func(addr, val uint32) error) error {
 	if t.done {
 		return &Abort{Reason: ReasonConflict}
+	}
+	if t.doomed {
+		return t.abort(ReasonConflict, 0)
+	}
+	switch t.tm.inj.Check(faultinject.OpTxnCommit, t.tid, 0) {
+	case faultinject.ActAbort:
+		return t.abort(ReasonConflict, 0)
+	case faultinject.ActPoison:
+		return t.abort(ReasonNonTxnStore, 0)
 	}
 	// Poison check: a plain store hit one of our locked slots.
 	for i := range t.writes {

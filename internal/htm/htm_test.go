@@ -41,7 +41,7 @@ func newTM(t *testing.T) *TM {
 func TestCommitPublishesWrites(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	if err := txn.Write(0x100, 42); err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestReadOwnWrites(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
 	mem.store(0x100, 7)
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	v, err := txn.Read(0x100)
 	if err != nil || v != 7 {
 		t.Fatalf("Read = %d, %v", v, err)
@@ -87,8 +87,8 @@ func TestReadOwnWrites(t *testing.T) {
 func TestWriteWriteConflictAborts(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	t1 := tm.Begin(mem.load)
-	t2 := tm.Begin(mem.load)
+	t1 := tm.Begin(1, mem.load)
+	t2 := tm.Begin(1, mem.load)
 	if err := t1.Write(0x100, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +111,11 @@ func TestWriteWriteConflictAborts(t *testing.T) {
 func TestReadInvalidatedByCommittedWriter(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	reader := tm.Begin(mem.load)
+	reader := tm.Begin(1, mem.load)
 	if _, err := reader.Read(0x200); err != nil {
 		t.Fatal(err)
 	}
-	writer := tm.Begin(mem.load)
+	writer := tm.Begin(1, mem.load)
 	if err := writer.Write(0x200, 9); err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +132,11 @@ func TestReadInvalidatedByCommittedWriter(t *testing.T) {
 func TestReadLockedSlotAborts(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	writer := tm.Begin(mem.load)
+	writer := tm.Begin(1, mem.load)
 	if err := writer.Write(0x300, 5); err != nil {
 		t.Fatal(err)
 	}
-	reader := tm.Begin(mem.load)
+	reader := tm.Begin(1, mem.load)
 	_, err := reader.Read(0x300)
 	var ab *Abort
 	if !errors.As(err, &ab) || ab.Reason != ReasonConflict {
@@ -148,7 +148,7 @@ func TestReadLockedSlotAborts(t *testing.T) {
 func TestNonTxnStorePoisonsWriter(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	if err := txn.Write(0x400, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestNonTxnStorePoisonsWriter(t *testing.T) {
 func TestNonTxnStoreInvalidatesReader(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	if _, err := txn.Read(0x500); err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestCapacityAbort(t *testing.T) {
 		t.Fatal(err)
 	}
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	var last error
 	for i := uint32(0); i < 20; i++ {
 		if last = txn.Write(0x1000+i*4, i); last != nil {
@@ -208,7 +208,7 @@ func TestCapacityAbort(t *testing.T) {
 func TestExplicitAbortReleasesLocks(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	t1 := tm.Begin(mem.load)
+	t1 := tm.Begin(1, mem.load)
 	if err := t1.Write(0x600, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestExplicitAbortReleasesLocks(t *testing.T) {
 		t.Fatalf("reason = %v", ab.Reason)
 	}
 	// The slot must be free for the next transaction.
-	t2 := tm.Begin(mem.load)
+	t2 := tm.Begin(1, mem.load)
 	if err := t2.Write(0x600, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestExplicitAbortReleasesLocks(t *testing.T) {
 func TestUsingDoneTxnFails(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	txn.AbortNow(ReasonSyscall)
 	if _, err := txn.Read(0); err == nil {
 		t.Error("Read on done txn should fail")
@@ -248,7 +248,7 @@ func TestUsingDoneTxnFails(t *testing.T) {
 func TestSameTxnMultipleWritesSameSlot(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	// Same address twice: second write re-acquires its own lock.
 	if err := txn.Write(0x700, 1); err != nil {
 		t.Fatal(err)
@@ -267,7 +267,7 @@ func TestSameTxnMultipleWritesSameSlot(t *testing.T) {
 func TestStoreErrorPropagatesFromCommit(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	if err := txn.Write(0x800, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestConcurrentCounterSerializable(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				for {
-					txn := tm.Begin(mem.load)
+					txn := tm.Begin(1, mem.load)
 					v, err := txn.Read(0x1000)
 					if err != nil {
 						continue
@@ -359,7 +359,7 @@ func TestQuickDisjointTxnsAllCommit(t *testing.T) {
 				defer wg.Done()
 				for i := uint32(0); i < 10; i++ {
 					addr := base + g*0x40000 + i*4
-					txn := tm.Begin(mem.load)
+					txn := tm.Begin(1, mem.load)
 					if err := txn.Write(addr, g+1); err != nil {
 						// A hash collision between disjoint addresses is
 						// possible but should be rare with 2^16 slots;
@@ -389,7 +389,7 @@ func TestManySequentialTxns(t *testing.T) {
 	tm := newTM(t)
 	mem := newMemStore()
 	for i := 0; i < 1000; i++ {
-		txn := tm.Begin(mem.load)
+		txn := tm.Begin(1, mem.load)
 		addr := uint32(i%64) * 4
 		v, err := txn.Read(addr)
 		if err != nil {
@@ -423,7 +423,7 @@ func TestReadAfterColleagueLockSameSlotSelf(t *testing.T) {
 	}
 	mem := newMemStore()
 	mem.store(0x104, 77)
-	txn := tm.Begin(mem.load)
+	txn := tm.Begin(1, mem.load)
 	if err := txn.Write(0x100, 1); err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +454,7 @@ func ExampleTM() {
 	load := func(a uint32) (uint32, error) { return mem[a], nil }
 	store := func(a, v uint32) error { mem[a] = v; return nil }
 
-	txn := tm.Begin(load)
+	txn := tm.Begin(1, load)
 	v, _ := txn.Read(0x40)
 	txn.Write(0x40, v*2)
 	if err := txn.Commit(store); err == nil {

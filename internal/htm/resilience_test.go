@@ -1,0 +1,132 @@
+package htm
+
+import (
+	"errors"
+	"testing"
+
+	"atomemu/internal/faultinject"
+)
+
+func TestStoreWatcherKeepsNotifyStoreLive(t *testing.T) {
+	tm := newTM(t)
+	const addr = 0x200
+	w0 := tm.SlotWord(addr)
+	// With no transaction and no watcher, NotifyStore takes the fast path
+	// and leaves the slot untouched.
+	tm.NotifyStore(addr)
+	if got := tm.SlotWord(addr); got != w0 {
+		t.Fatalf("NotifyStore with no watcher changed slot: %#x -> %#x", w0, got)
+	}
+	tm.AddStoreWatcher()
+	if !tm.Active() {
+		t.Fatal("watcher should make the TM active")
+	}
+	tm.NotifyStore(addr)
+	w1 := tm.SlotWord(addr)
+	if w1 == w0 {
+		t.Fatal("NotifyStore with a watcher must bump the slot version")
+	}
+	tm.RemoveStoreWatcher()
+	if tm.Active() {
+		t.Fatal("TM should be idle after watcher removal")
+	}
+	tm.NotifyStore(addr)
+	if got := tm.SlotWord(addr); got != w1 {
+		t.Fatalf("NotifyStore after watcher removal changed slot: %#x -> %#x", w1, got)
+	}
+}
+
+func TestBumpIfWordAdoptsOnlyExactWord(t *testing.T) {
+	tm := newTM(t)
+	const addr = 0x300
+	w0 := tm.SlotWord(addr)
+	nw, ok := tm.BumpIfWord(addr, w0)
+	if !ok || nw == w0 {
+		t.Fatalf("bump of current word should succeed: ok=%v %#x -> %#x", ok, w0, nw)
+	}
+	if got := tm.SlotWord(addr); got != nw {
+		t.Fatalf("slot should hold the bumped word: got %#x want %#x", got, nw)
+	}
+	// A stale expect (the pre-bump word) must be refused: the CAS prevents
+	// a degraded vCPU from absorbing a foreign version advance.
+	if _, ok := tm.BumpIfWord(addr, w0); ok {
+		t.Fatal("bump with stale expect must fail")
+	}
+	if got := tm.SlotWord(addr); got != nw {
+		t.Fatalf("failed bump must not change the slot: got %#x want %#x", got, nw)
+	}
+}
+
+func TestBumpIfWordRefusesLockedWord(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	const addr = 0x400
+	txn := tm.Begin(1, mem.load)
+	if err := txn.Write(addr, 7); err != nil {
+		t.Fatal(err)
+	}
+	w := tm.SlotWord(addr) // eager write lock: word is locked by txn
+	if _, ok := tm.BumpIfWord(addr, w); ok {
+		t.Fatal("bump of a locked word must be refused")
+	}
+	if got := tm.SlotWord(addr); got != w {
+		t.Fatalf("refused bump corrupted the lock word: %#x -> %#x", w, got)
+	}
+	txn.AbortNow(ReasonConflict)
+}
+
+func TestInjectedBeginAbortDoomsTxn(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	tm.SetInjector(faultinject.New(faultinject.Rule{
+		Op: faultinject.OpTxnBegin, Action: faultinject.ActAbort, TID: 5, Count: 1,
+	}))
+	txn := tm.Begin(5, mem.load)
+	_, err := txn.Read(0x10)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonConflict {
+		t.Fatalf("doomed txn should abort with ReasonConflict, got %v", err)
+	}
+	if why, ok := txn.AbortReason(); !ok || why != ReasonConflict {
+		t.Fatalf("AbortReason = %v,%v", why, ok)
+	}
+	// Other tids are unaffected.
+	other := tm.Begin(6, mem.load)
+	if _, err := other.Read(0x10); err != nil {
+		t.Fatalf("tid 6 should be untouched: %v", err)
+	}
+	if err := other.Commit(mem.store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedCommitPoisonAborts(t *testing.T) {
+	tm := newTM(t)
+	mem := newMemStore()
+	tm.SetInjector(faultinject.New(faultinject.Rule{
+		Op: faultinject.OpTxnCommit, Action: faultinject.ActPoison, Count: 1,
+	}))
+	txn := tm.Begin(1, mem.load)
+	if err := txn.Write(0x20, 99); err != nil {
+		t.Fatal(err)
+	}
+	err := txn.Commit(mem.store)
+	var ab *Abort
+	if !errors.As(err, &ab) || ab.Reason != ReasonNonTxnStore {
+		t.Fatalf("poisoned commit should abort with ReasonNonTxnStore, got %v", err)
+	}
+	if v, _ := mem.load(0x20); v != 0 {
+		t.Fatalf("aborted commit leaked a write: %d", v)
+	}
+	if tm.Active() {
+		t.Fatal("aborted txn left the TM active")
+	}
+	// The rule's window is spent; the retry commits cleanly.
+	retry := tm.Begin(1, mem.load)
+	if err := retry.Write(0x20, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := retry.Commit(mem.store); err != nil {
+		t.Fatalf("retry after spent rule: %v", err)
+	}
+}

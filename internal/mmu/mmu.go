@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"atomemu/internal/faultinject"
 )
 
 // Page geometry.
@@ -128,7 +130,14 @@ type Memory struct {
 	frames    []*[PageWords]uint32 // fixed capacity, entries published before their pte
 	nextFrame int
 	freeList  []int32 // recycled frame indices
+	inj       *faultinject.Injector
 }
+
+// SetInjector installs a fault injector (nil to disable). Call before the
+// memory is shared; the field is read without synchronization afterwards.
+// The MMU has no vCPU identity, so injection rules for its sites must use
+// TID 0 (any vCPU) and select by address instead.
+func (m *Memory) SetInjector(inj *faultinject.Injector) { m.inj = inj }
 
 // New creates an address space backed by at most maxBytes of physical
 // memory (rounded up to whole pages).
@@ -354,6 +363,9 @@ func (m *Memory) resolve(addr uint32, need Perm, access AccessKind) (*[PageWords
 // LoadWord performs a guest word load with permission checking. All word
 // accesses are host-atomic, modelling a coherent memory system.
 func (m *Memory) LoadWord(addr uint32) (uint32, *Fault) {
+	if m.inj.Check(faultinject.OpMemLoad, 0, addr) == faultinject.ActFault {
+		return 0, &Fault{Addr: addr, Kind: FaultProtected, Access: AccessLoad}
+	}
 	fr, wi, f := m.resolve(addr, PermRead, AccessLoad)
 	if f != nil {
 		return 0, f
@@ -363,6 +375,9 @@ func (m *Memory) LoadWord(addr uint32) (uint32, *Fault) {
 
 // StoreWord performs a guest word store with permission checking.
 func (m *Memory) StoreWord(addr, val uint32) *Fault {
+	if m.inj.Check(faultinject.OpMemStore, 0, addr) == faultinject.ActFault {
+		return &Fault{Addr: addr, Kind: FaultProtected, Access: AccessStore}
+	}
 	fr, wi, f := m.resolve(addr, PermWrite, AccessStore)
 	if f != nil {
 		return f

@@ -57,6 +57,12 @@ type CPU struct {
 	HTMAborts     uint64
 	ExclSections  uint64 // stop-the-world sections entered
 
+	// Resilience events (abort backoff, degradation, watchdog).
+	HTMRetries      uint64 // transactional attempts re-issued after a retryable abort
+	HTMBackoffWaits uint64 // backoff waits taken before those retries
+	SchemeFallbacks uint64 // monitors demoted to the portable fallback path
+	WatchdogTrips   uint64 // progress-watchdog diagnostics raised
+
 	// Translation-cache events (the host-side contention story: shared
 	// lookups are lock-free, and racing same-pc translations discard the
 	// loser's block).
@@ -95,6 +101,10 @@ func (c *CPU) Add(other *CPU) {
 	c.HTMCommits += other.HTMCommits
 	c.HTMAborts += other.HTMAborts
 	c.ExclSections += other.ExclSections
+	c.HTMRetries += other.HTMRetries
+	c.HTMBackoffWaits += other.HTMBackoffWaits
+	c.SchemeFallbacks += other.SchemeFallbacks
+	c.WatchdogTrips += other.WatchdogTrips
 	c.TBSharedLookups += other.TBSharedLookups
 	c.TBTranslations += other.TBTranslations
 	c.TBRaceDiscards += other.TBRaceDiscards
