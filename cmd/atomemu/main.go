@@ -12,14 +12,19 @@
 //
 // On exit it prints guest output, the instruction census and the
 // virtual-time total.
+//
+// Exit codes: 0 success; 2 guest deadlock; 3 emulation fault or watchdog
+// trip; 4 recovery attempts exhausted; 1 any other error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"atomemu/internal/asm"
+	"atomemu/internal/core"
 	"atomemu/internal/engine"
 	"atomemu/internal/gac"
 	"atomemu/internal/harness"
@@ -30,8 +35,28 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "atomemu:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps machine failures to distinct process exit codes so scripts
+// can tell a guest deadlock from a scheme fault from exhausted recovery.
+// RecoveryExhaustedError wraps the final error, so it is matched first.
+func exitCode(err error) int {
+	var rex *engine.RecoveryExhaustedError
+	if errors.As(err, &rex) {
+		return 4
+	}
+	var dead *core.DeadlockError
+	if errors.As(err, &dead) {
+		return 2
+	}
+	var wd *core.WatchdogError
+	var em *core.EmulationError
+	if errors.As(err, &wd) || errors.As(err, &em) {
+		return 3
+	}
+	return 1
 }
 
 func run() error {
@@ -47,6 +72,8 @@ func run() error {
 	arg := flag.Uint("arg", 0, "r0 argument for -image workers")
 	fuse := flag.Bool("fuse", false, "enable rule-based translation (fuse LL/SC retry loops into host atomics)")
 	trace := flag.Bool("trace", false, "log every executed guest instruction to stderr (-image only)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "capture a recovery checkpoint every N virtual cycles (0 = off; -image/-gac only)")
+	deadline := flag.Uint64("deadline", 0, "abort when any vCPU passes N virtual cycles (0 = no deadline; -image/-gac only)")
 	flag.Parse()
 
 	switch {
@@ -102,6 +129,8 @@ func run() error {
 		}
 		cfg := engine.DefaultConfig(*scheme)
 		cfg.FuseAtomics = *fuse
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.VirtualDeadline = *deadline
 		if *trace {
 			cfg.TraceWriter = os.Stderr
 		}

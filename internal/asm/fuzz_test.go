@@ -1,0 +1,41 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler. It must never panic;
+// any source it accepts must produce an image that survives the binary
+// WriteTo/ReadImage round trip unchanged.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r0, #1\nsvc #1\n")
+	f.Add(".org 0x1000\n.entry main\nmain:\n  ldr r0, =cell\n  b main\ncell: .word 7\n")
+	f.Add("loop:\n  ldrex r1, [r0]\n  addi r1, r1, #1\n  strex r2, r1, [r0]\n  cmpi r2, #0\n  bne loop\n")
+	f.Add(".align 2\n.space 3\n.word 0xffffffff\n")
+	f.Add("; comment only\n")
+	f.Add("label without colon")
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := im.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo on assembled image: %v", err)
+		}
+		back, err := ReadImage(&buf)
+		if err != nil {
+			t.Fatalf("ReadImage on written image: %v", err)
+		}
+		if back.Org != im.Org || back.Entry != im.Entry || len(back.Words) != len(im.Words) {
+			t.Fatalf("round trip changed image: org %#x->%#x entry %#x->%#x words %d->%d",
+				im.Org, back.Org, im.Entry, back.Entry, len(im.Words), len(back.Words))
+		}
+		for i := range im.Words {
+			if im.Words[i] != back.Words[i] {
+				t.Fatalf("round trip changed word %d: %#08x -> %#08x", i, im.Words[i], back.Words[i])
+			}
+		}
+	})
+}

@@ -201,6 +201,22 @@ type Scheme interface {
 	Load(ctx Context, addr uint32) (uint32, error)
 	// LoadB emulates an instrumented guest byte load.
 	LoadB(ctx Context, addr uint32) (uint8, error)
+
+	// Snapshot captures the scheme's global state (hash-table entries, TM
+	// slot words, PST page marks, MPK key tags) for a checkpoint. It must
+	// be strictly read-only — a clean run with checkpointing enabled has to
+	// stay bit-identical to one without — and is only called at machine
+	// quiescence (inside an exclusive section). Stateless schemes return
+	// nil.
+	Snapshot() any
+	// Restore re-installs a state captured by Snapshot on the same scheme
+	// instance, again at quiescence, after mem has been rolled back to the
+	// same checkpoint. Per-vCPU monitors are NOT part of the snapshot: a
+	// restore disarms every monitor, which the architecture permits (an SC
+	// may fail spuriously; guests retry from the LL). Restore must leave no
+	// entry locked, no transaction live, and no page protected on behalf of
+	// a disarmed monitor (the PST family un-protects via mem).
+	Restore(mem *mmu.Memory, snap any)
 }
 
 // StoreNotifier is implemented by schemes that need to observe stores the
@@ -258,6 +274,45 @@ type HashOwnerReporter interface {
 	HashOwner(addr uint32) (uint32, bool)
 }
 
+// DeadlockWaiter describes one parked vCPU at deadlock-detection time.
+type DeadlockWaiter struct {
+	TID  uint32
+	Kind string // "futex", "barrier" or "join"
+	// Addr is the futex word or barrier cell the vCPU sleeps on; for a
+	// join it is the joined thread id.
+	Addr uint32
+	// Arrived/Total describe the barrier generation for barrier waiters
+	// (how many threads have arrived out of how many expected).
+	Arrived int
+	Total   int
+}
+
+func (w DeadlockWaiter) String() string {
+	switch w.Kind {
+	case "barrier":
+		return fmt.Sprintf("vCPU %d barrier@%#08x (%d/%d arrived)", w.TID, w.Addr, w.Arrived, w.Total)
+	case "join":
+		return fmt.Sprintf("vCPU %d join(tid %d)", w.TID, w.Addr)
+	}
+	return fmt.Sprintf("vCPU %d %s@%#08x", w.TID, w.Kind, w.Addr)
+}
+
+// DeadlockError is the structured diagnostic for a guest deadlock: every
+// live vCPU is parked in a blocking syscall (futex wait, barrier, join)
+// and no wake can ever arrive. The engine returns it instead of letting
+// Run hang forever.
+type DeadlockError struct {
+	Waiters []DeadlockWaiter
+}
+
+func (e *DeadlockError) Error() string {
+	s := fmt.Sprintf("core: guest deadlock: all %d runnable vCPUs blocked:", len(e.Waiters))
+	for _, w := range e.Waiters {
+		s += " [" + w.String() + "]"
+	}
+	return s
+}
+
 // CostModel holds the virtual-cycle charges used by the engine and schemes.
 // The defaults are calibrated so the cost *ratios* mirror the paper's
 // measured trade-offs: inline IR instrumentation is cheap relative to helper
@@ -287,6 +342,12 @@ type CostModel struct {
 	SyscallBase uint64 // guest syscall entry/exit
 	TBLookup    uint64 // translation-cache hit
 	TBTranslate uint64 // per guest instruction translated
+
+	// Checkpoint capture costs, charged to the checkpoint component only —
+	// never the guest-visible clock — so enabling checkpoints leaves a
+	// clean run's virtual times untouched.
+	CheckpointBase uint64 // one capture (bookkeeping + scheme snapshot)
+	CheckpointPage uint64 // per dirty page frame copied into the capture
 }
 
 // DefaultCostModel returns the calibrated defaults.
@@ -311,6 +372,8 @@ func DefaultCostModel() CostModel {
 		SyscallBase:     1500,
 		TBLookup:        12,
 		TBTranslate:     400,
+		CheckpointBase:  5000,
+		CheckpointPage:  800,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"atomemu/internal/hashtab"
+	"atomemu/internal/mmu"
 	"atomemu/internal/stats"
 )
 
@@ -199,6 +200,28 @@ func (s *hst) NoteStore(ctx Context, addr uint32) {
 // HashOwner implements HashOwnerReporter for watchdog diagnostics.
 func (s *hst) HashOwner(addr uint32) (uint32, bool) {
 	return s.tab.Get(addr), true
+}
+
+// Snapshot captures the store-test table (the scheme's only global state;
+// the profiling shadow is excluded — it feeds a census, not correctness).
+func (s *hst) Snapshot() any { return s.tab.Snapshot() }
+
+// Restore re-installs a captured table.
+func (s *hst) Restore(mem *mmu.Memory, snap any) {
+	if entries, ok := snap.([]uint32); ok {
+		s.tab.Restore(entries)
+	}
+}
+
+// Snapshot captures the store-test table; LockBits are dropped so a stuck
+// SC entry lock cannot survive rollback.
+func (s *hstWeak) Snapshot() any { return s.tab.Snapshot() }
+
+// Restore re-installs a captured table.
+func (s *hstWeak) Restore(mem *mmu.Memory, snap any) {
+	if entries, ok := snap.([]uint32); ok {
+		s.tab.Restore(entries)
+	}
 }
 
 // HashOwner implements HashOwnerReporter for watchdog diagnostics.

@@ -5,6 +5,7 @@ import (
 
 	"atomemu/internal/hashtab"
 	"atomemu/internal/htm"
+	"atomemu/internal/mmu"
 	"atomemu/internal/stats"
 )
 
@@ -231,4 +232,26 @@ func (s *hstHTM) NoteStore(ctx Context, addr uint32) {
 // HashOwner implements HashOwnerReporter for watchdog diagnostics.
 func (s *hstHTM) HashOwner(addr uint32) (uint32, bool) {
 	return s.tab.Get(addr), true
+}
+
+// hstHTMSnap is HST-HTM's checkpoint payload: the store-test table plus
+// the TM slot words (entries live in the transactional address space, so
+// both must roll back together).
+type hstHTMSnap struct {
+	entries []uint32
+	words   []uint64
+}
+
+// Snapshot captures the table and the TM slot words.
+func (s *hstHTM) Snapshot() any {
+	return &hstHTMSnap{entries: s.tab.Snapshot(), words: s.tm.SnapshotWords()}
+}
+
+// Restore re-installs both; live transactions were aborted by the engine's
+// monitor disarm beforehand.
+func (s *hstHTM) Restore(mem *mmu.Memory, snap any) {
+	if hs, ok := snap.(*hstHTMSnap); ok {
+		s.tab.Restore(hs.entries)
+		s.tm.RestoreWords(hs.words)
+	}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "atomemu/internal/stats"
+import (
+	"atomemu/internal/mmu"
+	"atomemu/internal/stats"
+)
 
 // picoCAS is QEMU-4.1's shipping scheme (PICO-CAS in the paper, Fig. 1):
 // the LL records the loaded value and address; the SC issues a host CAS
@@ -51,3 +54,8 @@ func (s *picoCAS) SC(ctx Context, addr, val uint32) (uint32, error) {
 }
 
 func (s *picoCAS) Clrex(ctx Context) { ctx.Monitor().Reset() }
+
+// Snapshot: PICO-CAS keeps no state beyond the per-vCPU monitors, which
+// checkpoints capture (and restores disarm) at the engine level.
+func (s *picoCAS) Snapshot() any                     { return nil }
+func (s *picoCAS) Restore(mem *mmu.Memory, snap any) {}

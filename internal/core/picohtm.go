@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"atomemu/internal/htm"
+	"atomemu/internal/mmu"
 	"atomemu/internal/stats"
 )
 
@@ -408,4 +409,18 @@ func (s *picoHTM) StoreB(ctx Context, addr uint32, val uint8) error {
 // transactions reading the word.
 func (s *picoHTM) NoteStore(ctx Context, addr uint32) {
 	s.tm.NotifyStore(addr)
+}
+
+// Snapshot captures the TM slot words (locked words are recorded unlocked:
+// their owning transactions belong to parked vCPUs and are aborted before
+// any restore).
+func (s *picoHTM) Snapshot() any { return s.tm.SnapshotWords() }
+
+// Restore re-installs the slot words. The engine has already aborted every
+// live transaction and released every store watcher (monitor disarm), so
+// the TM's active count is back at zero.
+func (s *picoHTM) Restore(mem *mmu.Memory, snap any) {
+	if words, ok := snap.([]uint64); ok {
+		s.tm.RestoreWords(words)
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"atomemu/internal/mmu"
 	"atomemu/internal/stats"
 )
 
@@ -162,6 +163,19 @@ func (s *picoST) StoreB(ctx Context, addr uint32, val uint8) error {
 		return f
 	}
 	return nil
+}
+
+// Snapshot: the registry only holds armed monitors, which are disarmed
+// wholesale on restore, so there is nothing to capture.
+func (s *picoST) Snapshot() any { return nil }
+
+// Restore empties the monitor registry to match the engine-side disarm of
+// every per-vCPU monitor.
+func (s *picoST) Restore(mem *mmu.Memory, snap any) {
+	s.mu.Lock()
+	s.byAddr = make(map[uint32][]*stMonitor)
+	s.byTID = make(map[uint32]*stMonitor)
+	s.mu.Unlock()
 }
 
 // NoteStore implements StoreNotifier: fused RMWs still clear conflicting

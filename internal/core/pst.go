@@ -277,6 +277,46 @@ func (s *pst) LoadB(ctx Context, addr uint32) (uint8, error) {
 	return v, nil
 }
 
+// pstProtPage records one page the scheme held write-protected at
+// checkpoint time, with the permissions to restore once its monitors are
+// disarmed.
+type pstProtPage struct {
+	base uint32
+	perm mmu.Perm
+}
+
+// Snapshot captures the pages currently write-protected on behalf of armed
+// monitors. The monitors themselves are not captured: a restore disarms
+// them all, so only the protection state needs undoing.
+func (s *pst) Snapshot() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []pstProtPage
+	for base, p := range s.pages {
+		p.pmu.Lock()
+		if p.protected {
+			out = append(out, pstProtPage{base: base, perm: p.origPerm})
+		}
+		p.pmu.Unlock()
+	}
+	return out
+}
+
+// Restore empties the page registry and lifts the write protection the
+// memory rollback just re-installed: with every monitor disarmed, nobody
+// would ever unprotect those pages again.
+func (s *pst) Restore(mem *mmu.Memory, snap any) {
+	s.mu.Lock()
+	s.pages = make(map[uint32]*pstPage)
+	s.mu.Unlock()
+	prot, _ := snap.([]pstProtPage)
+	for _, pp := range prot {
+		// The page was mapped at capture time and the memory rollback has
+		// re-mapped it, so this cannot fail.
+		_ = mem.Protect(pp.base, mmu.PageSize, pp.perm)
+	}
+}
+
 // NoteStore implements StoreNotifier: a fused RMW on a monitored page breaks
 // the other threads' monitors on that word (the page-fault handler's job for
 // regular stores).

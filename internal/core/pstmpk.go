@@ -239,6 +239,15 @@ func (s *pstMPK) StoreB(ctx Context, addr uint32, val uint8) error {
 	return s.handleStoreFault(ctx, mmu.PageBase(addr), addr&^3, commit)
 }
 
+// Restore additionally clears every page tag and returns all keys to the
+// pool: tagged pages belong to monitors the restore disarms. The embedded
+// pst.Snapshot already covers the key-exhaustion fallback pages (the only
+// ones that flip mmu permissions).
+func (s *pstMPK) Restore(mem *mmu.Memory, snap any) {
+	s.unit.Reset()
+	s.pst.Restore(mem, snap)
+}
+
 // NoteStore implements StoreNotifier for fused RMWs.
 func (s *pstMPK) NoteStore(ctx Context, addr uint32) {
 	p := s.lookup(mmu.PageBase(addr))

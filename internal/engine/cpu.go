@@ -63,6 +63,14 @@ type CPU struct {
 	wdStalled  uint64
 	lastSCAddr uint32
 
+	// blocked and joinParked belong to the guest-deadlock detector and the
+	// checkpoint layer; both are guarded by Machine.parkMu. blocked marks
+	// this vCPU as parked in a blocking syscall (and tells a checkpoint
+	// restore to re-execute it); joinParked counts vCPUs currently joined on
+	// this one, settled by finish.
+	blocked    blockedMark
+	joinParked int
+
 	halted     bool
 	haltedFlag atomic.Bool
 	exitCode   uint32
@@ -171,12 +179,26 @@ func (c *CPU) fail(err error) {
 // RunningCPUs implements core.Context.
 func (c *CPU) RunningCPUs() int { return int(c.m.runningCPUs.Load()) }
 
-// finish marks the vCPU stopped and releases joiners.
+// finish marks the vCPU stopped and releases joiners. Halting, settling the
+// join park counts (closing done is the wake this vCPU owes its joiners)
+// and re-checking for deadlock happen under one parkMu hold, so the
+// detector never sees a half-finished vCPU.
 func (c *CPU) finish() {
+	m := c.m
+	m.parkMu.Lock()
 	if !c.haltedFlag.Load() {
-		c.m.runningCPUs.Add(-1)
+		m.runningCPUs.Add(-1)
 	}
 	c.haltedFlag.Store(true)
+	m.parked -= c.joinParked
+	c.joinParked = 0
+	// This exit may strand the remaining vCPUs: with one fewer runner,
+	// "every live vCPU is parked" may hold now.
+	derr := m.deadlockedLocked()
+	m.parkMu.Unlock()
+	if derr != nil {
+		m.stop(derr)
+	}
 	if c.mon.Txn != nil && !c.mon.Txn.Done() {
 		c.mon.Txn.AbortNow(htm.ReasonSyscall)
 	}
@@ -238,10 +260,18 @@ func (c *CPU) run() {
 	// above so it recovers first; finish/execEnd then still run.
 	defer func() {
 		if r := recover(); r != nil {
-			c.fail(fmt.Errorf("engine: panic on vCPU %d (scheme %s) at pc %#08x: %v",
-				c.tid, c.m.scheme.Name(), c.pc, r))
+			c.fail(&PanicError{TID: c.tid, PC: c.pc, Scheme: c.m.scheme.Name(), Value: r})
 		}
 	}()
+	// A vCPU relaunched from a checkpoint with a blocked marker was parked
+	// in a blocking syscall at the cut: its registers still hold the
+	// arguments and pc the continuation, so re-execute the syscall before
+	// resuming block execution.
+	if c.blocked.active {
+		c.resumeBlocked()
+	}
+	deadline := c.m.cfg.VirtualDeadline
+	ckptEvery := c.m.cfg.CheckpointEvery
 	nextYield := c.yieldGap()
 	for n := 0; !c.halted; n++ {
 		if c.m.stopped.Load() {
@@ -250,6 +280,13 @@ func (c *CPU) run() {
 		e.checkpoint(c)
 		c.witnessStalls()
 		c.stepOnce()
+		if deadline > 0 && c.clock.Load() > deadline {
+			c.m.stop(&DeadlineError{TID: c.tid, Deadline: deadline, Clock: c.clock.Load()})
+			break
+		}
+		if ckptEvery > 0 {
+			c.m.maybeCheckpoint(c)
+		}
 		if n%watchdogEvery == watchdogEvery-1 {
 			c.watchdogCheck()
 		}
@@ -260,6 +297,19 @@ func (c *CPU) run() {
 			runtime.Gosched()
 			nextYield = n + c.yieldGap()
 		}
+	}
+}
+
+// resumeBlocked re-executes the blocking syscall recorded in this vCPU's
+// checkpoint marker (set by a restore). The dispatch rewrites r0 with the
+// syscall result exactly as the original execution would have.
+func (c *CPU) resumeBlocked() {
+	c.m.parkMu.Lock()
+	mark := c.blocked
+	c.blocked = blockedMark{}
+	c.m.parkMu.Unlock()
+	if mark.active {
+		c.m.syscall(c, mark.syscall)
 	}
 }
 

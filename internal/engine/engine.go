@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"atomemu/internal/asm"
+	"atomemu/internal/checkpoint"
 	"atomemu/internal/core"
 	"atomemu/internal/faultinject"
 	"atomemu/internal/htm"
@@ -116,6 +117,21 @@ type Config struct {
 	// SC failures with no intervening success. 0 selects the default;
 	// a negative value disables the watchdog.
 	WatchdogSCFails int64
+	// CheckpointEvery enables crash-consistent checkpoints: a consistent
+	// cut of the whole machine is captured inside a quiet stop-the-world
+	// section each time virtual time advances by this many cycles. 0 (the
+	// default) disables checkpointing; the paper harness leaves it off so
+	// figure reproduction is unaffected.
+	CheckpointEvery uint64
+	// RecoveryAttempts bounds how many rollback recoveries Run performs
+	// after a recoverable failure (watchdog trip, scheme error, guest
+	// fault, vCPU panic) before giving up with RecoveryExhaustedError.
+	// 0 selects the default (3); a negative value disables recovery even
+	// when checkpoints are captured.
+	RecoveryAttempts int
+	// VirtualDeadline stops the machine with a DeadlineError once any vCPU
+	// clock passes this many virtual cycles. 0 means no deadline.
+	VirtualDeadline uint64
 	// HashSpinBudget bounds hashtab.SetWait's spin on a locked entry
 	// (0 = hashtab.DefaultSpinBudget).
 	HashSpinBudget int
@@ -127,18 +143,19 @@ type Config struct {
 // DefaultConfig returns a ready-to-use configuration for the given scheme.
 func DefaultConfig(scheme string) Config {
 	return Config{
-		Scheme:          scheme,
-		Cost:            core.DefaultCostModel(),
-		MemBytes:        64 << 20,
-		HashBits:        14,
-		HTMBits:         16,
-		HTMCapacity:     0,
-		StackBytes:      64 << 10,
-		MaxThreads:      256,
-		QuantumTBs:      32,
-		PreemptMemOps:   600,
-		HTMInterference: 16,
-		WatchdogSCFails: 1 << 17,
+		Scheme:           scheme,
+		Cost:             core.DefaultCostModel(),
+		MemBytes:         64 << 20,
+		HashBits:         14,
+		HTMBits:          16,
+		HTMCapacity:      0,
+		StackBytes:       64 << 10,
+		MaxThreads:       256,
+		QuantumTBs:       32,
+		PreemptMemOps:    600,
+		HTMInterference:  16,
+		WatchdogSCFails:  1 << 17,
+		RecoveryAttempts: 3,
 	}
 }
 
@@ -168,9 +185,15 @@ type Machine struct {
 	nextTID     uint32
 	wg          sync.WaitGroup
 
-	stopped  atomic.Bool
-	errMu    sync.Mutex
-	firstErr error
+	stopped atomic.Bool
+	// stopCh broadcasts the stop to join waiters, which (unlike futex and
+	// barrier waiters) have no per-waiter wake channel the stop path can
+	// reach: a join cycle would otherwise hang the host forever after the
+	// deadlock detector fires. Guarded by errMu; recreated by restore.
+	stopCh       chan struct{}
+	stopChClosed bool
+	errMu        sync.Mutex
+	firstErr     error
 
 	outMu  sync.Mutex
 	output []uint32
@@ -189,6 +212,28 @@ type Machine struct {
 	exclSections atomic.Uint64
 	// runningCPUs counts vCPUs not yet halted.
 	runningCPUs atomic.Int32
+
+	// parkMu guards parked, the per-CPU blocked markers and joinParked
+	// counts: the guest-deadlock detector's state. parked counts vCPUs
+	// blocked in a guest syscall with no wake in flight (wakers decrement
+	// before delivering the wake, so parked == runningCPUs only at a true
+	// deadlock). Lock order: futexMu/barMu before parkMu, parkMu before
+	// cpuMu; never call stop while holding parkMu.
+	parkMu sync.Mutex
+	parked int
+
+	// Checkpoint/recovery state. lastCkpt is the newest consistent cut;
+	// nextCkptVT is the virtual time at which the next capture is claimed
+	// (CAS-guarded so exactly one vCPU captures per cadence point).
+	ckptMu     sync.Mutex
+	lastCkpt   *checkpoint.Snapshot
+	nextCkptVT atomic.Uint64
+	// Machine-level counters (per-CPU stats are themselves rolled back by
+	// restores); AggregateStats merges them into the aggregate.
+	checkpoints      atomic.Uint64
+	ckptPages        atomic.Uint64
+	recoveryAttempts atomic.Uint64
+	recoveryRestores atomic.Uint64
 }
 
 // TB is a cached translation block.
@@ -237,7 +282,23 @@ func (cfg Config) normalized() Config {
 	if cfg.WatchdogSCFails == 0 {
 		cfg.WatchdogSCFails = def.WatchdogSCFails
 	}
+	// RecoveryAttempts likewise: 0 means default, negative disables.
+	if cfg.RecoveryAttempts == 0 {
+		cfg.RecoveryAttempts = def.RecoveryAttempts
+	}
 	return cfg
+}
+
+// resilience derives the scheme-facing resilience policy from the config.
+func (cfg *Config) resilience() core.Resilience {
+	return core.Resilience{
+		StrictPaper: cfg.StrictPaper,
+		MaxRetries:  cfg.HTMMaxRetries,
+		BackoffBase: cfg.HTMBackoffBase,
+		BackoffMax:  cfg.HTMBackoffMax,
+		Cooldown:    cfg.FallbackCooldown,
+		Seed:        cfg.ResilienceSeed,
+	}
 }
 
 // NewMachine builds a machine with the configured scheme. Zero-valued
@@ -251,17 +312,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 		heapNext: DefaultHeapBase,
 		futexes:  make(map[uint32]*futexQueue),
 		barriers: make(map[uint32]*guestBarrier),
+		stopCh:   make(chan struct{}),
 	}
 	m.mem.SetInjector(cfg.FaultInjector)
+	m.nextCkptVT.Store(cfg.CheckpointEvery)
 
-	res := core.Resilience{
-		StrictPaper: cfg.StrictPaper,
-		MaxRetries:  cfg.HTMMaxRetries,
-		BackoffBase: cfg.HTMBackoffBase,
-		BackoffMax:  cfg.HTMBackoffMax,
-		Cooldown:    cfg.FallbackCooldown,
-		Seed:        cfg.ResilienceSeed,
-	}
+	res := m.cfg.resilience()
 	deps := core.Deps{Cost: &m.cfg.Cost, Res: &res}
 	needsHTM := cfg.Scheme == "pico-htm" || cfg.Scheme == "hst-htm"
 	if needsHTM {
@@ -355,8 +411,12 @@ func (m *Machine) stop(err error) {
 	if m.firstErr == nil && err != nil {
 		m.firstErr = err
 	}
-	m.errMu.Unlock()
 	m.stopped.Store(true)
+	if !m.stopChClosed {
+		m.stopChClosed = true
+		close(m.stopCh)
+	}
+	m.errMu.Unlock()
 	// Wake sleepers so they observe the stop.
 	m.futexMu.Lock()
 	for _, q := range m.futexes {
@@ -390,6 +450,15 @@ func (m *Machine) SpawnThread(entry uint32, args ...uint32) (*CPU, error) {
 }
 
 func (m *Machine) newCPU(entry uint32, startClock uint64, args []uint32) (*CPU, error) {
+	// A stopped machine must not hand out a fresh vCPU goroutine: Start or
+	// SpawnThread after a fatal stop used to launch a thread that raced
+	// machine teardown. Surface the stop error instead.
+	if m.stopped.Load() {
+		if err := m.Err(); err != nil {
+			return nil, fmt.Errorf("engine: machine stopped: %w", err)
+		}
+		return nil, fmt.Errorf("engine: machine stopped")
+	}
 	// Reserve a tid and a slot under one lock so concurrent guest spawns
 	// cannot both pass the limit check and overshoot MaxThreads; the
 	// reservation (not a re-check at append time) also means a spawn that
@@ -453,12 +522,6 @@ func (m *Machine) mapStack(tid uint32) (uint32, error) {
 	return base + sz, nil
 }
 
-// Run waits for every vCPU to halt and returns the first fatal error.
-func (m *Machine) Run() error {
-	m.wg.Wait()
-	return m.Err()
-}
-
 // CPUs returns the machine's vCPUs (stable after threads stop spawning).
 func (m *Machine) CPUs() []*CPU {
 	m.cpuMu.Lock()
@@ -489,12 +552,18 @@ func (m *Machine) VirtualTime() uint64 {
 	return maxClk
 }
 
-// AggregateStats sums all vCPU counters.
+// AggregateStats sums all vCPU counters and merges in the machine-level
+// checkpoint/recovery counters (which survive rollbacks; per-CPU counters
+// are restored along with the vCPU).
 func (m *Machine) AggregateStats() stats.CPU {
 	var agg stats.CPU
 	for _, c := range m.CPUs() {
 		agg.Add(&c.st)
 	}
+	agg.Checkpoints = m.checkpoints.Load()
+	agg.CheckpointPages = m.ckptPages.Load()
+	agg.RecoveryAttempts = m.recoveryAttempts.Load()
+	agg.RecoveryRestores = m.recoveryRestores.Load()
 	return agg
 }
 

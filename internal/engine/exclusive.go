@@ -91,6 +91,25 @@ func (e *exclusive) endExclusive(c *CPU) {
 	e.execStart(c)
 }
 
+// startExclusiveQuiet stops the world without charging anyone: no entry
+// cost on the requester, no section published for witness stalls. Used for
+// checkpoint capture, which must be invisible to the virtual-time model so
+// a run with checkpointing enabled stays cycle-identical to one without.
+func (e *exclusive) startExclusiveQuiet(c *CPU) {
+	e.execEnd(c)
+	e.exclHolder.Lock()
+	e.pending.Add(1)
+	e.mu.Lock()
+	for e.running > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// endExclusiveQuiet resumes the world after a quiet section. (endExclusive
+// never charges, so this is the same release path under the paired name.)
+func (e *exclusive) endExclusiveQuiet(c *CPU) { e.endExclusive(c) }
+
 // lift raises an atomic clock to at least v.
 func lift(a *atomic.Uint64, v uint64) {
 	for {

@@ -112,9 +112,31 @@ func (m *Machine) sysJoin(c *CPU, tid uint32) uint32 {
 	if target == nil || target == c {
 		return 1
 	}
+	// Register the park against the target under parkMu: finish() settles
+	// joinParked and halts under the same lock, so either we see the target
+	// halted (no park) or finish() will decrement for us before it closes
+	// done.
+	m.parkMu.Lock()
+	var derr error
+	if !target.haltedFlag.Load() {
+		c.blocked = blockedMark{active: true, kind: "join", syscall: SysJoin, addr: tid}
+		target.joinParked++
+		m.parked++
+		derr = m.deadlockedLocked()
+	}
+	m.parkMu.Unlock()
+	if derr != nil {
+		m.stop(derr)
+	}
 	m.excl.execEnd(c)
-	<-target.done
+	// Also watch the stop broadcast: in a join cycle the target's done can
+	// never close, and the deadlock stop must still unblock us.
+	select {
+	case <-target.done:
+	case <-m.stopCh:
+	}
 	m.excl.execStart(c)
+	m.noteResume(c)
 	// The joiner resumes no earlier than the joinee finished.
 	c.liftClockTo(target.clock.Load(), false)
 	return 0
@@ -166,9 +188,13 @@ func (m *Machine) sysFutexWait(c *CPU, addr, expected uint32) uint32 {
 		}
 		return 0
 	}
+	// Register the park before sleeping (futexMu is released: a deadlock
+	// here stops the machine, whose wakeAll reaches our channel).
+	m.notePark(c, blockedMark{active: true, kind: "futex", syscall: SysFutexWait, addr: addr})
 	m.excl.execEnd(c)
 	wakeClk := <-ch
 	m.excl.execStart(c)
+	m.noteResume(c)
 	// Blocked time counts as synchronization overhead.
 	c.liftClockTo(wakeClk+m.cfg.Cost.SyscallBase, true)
 	return 0
@@ -186,6 +212,10 @@ func (m *Machine) sysFutexWake(c *CPU, addr, maxWake uint32) uint32 {
 		n = len(q.waiters)
 	}
 	clk := c.clock.Load()
+	// Waker-side unpark accounting, BEFORE delivering the wakes: a waiter
+	// with a wake in flight must never count as parked, or the deadlock
+	// detector could fire while the machine can still make progress.
+	m.noteWake(n)
 	for i := 0; i < n; i++ {
 		q.waiters[i] <- clk
 	}
@@ -239,22 +269,35 @@ func (m *Machine) sysBarrierWait(c *CPU, addr uint32) uint32 {
 		b.maxClk = clk
 	}
 	if b.arrived == b.total {
-		// Last arriver: release the generation.
+		// Last arriver: release the generation. Unpark the waiters before
+		// closing the channel (waker-side accounting; barMu-then-parkMu is
+		// the sanctioned order).
 		old := b.gen
 		old.releaseClk = b.maxClk
 		b.maxClk = 0
 		b.arrived = 0
 		b.gen = &barrierGen{ch: make(chan struct{})}
+		m.noteWake(b.total - 1)
 		close(old.ch)
 		m.barMu.Unlock()
 		c.liftClockTo(old.releaseClk+m.cfg.Cost.SyscallBase, true)
 		return 1
 	}
 	g := b.gen
+	mark := blockedMark{
+		active:  true,
+		kind:    "barrier",
+		syscall: SysBarrierWait,
+		addr:    addr,
+		arrived: b.arrived,
+		total:   b.total,
+	}
 	m.barMu.Unlock()
+	m.notePark(c, mark)
 	m.excl.execEnd(c)
 	<-g.ch
 	m.excl.execStart(c)
+	m.noteResume(c)
 	c.liftClockTo(g.releaseClk+m.cfg.Cost.SyscallBase, true)
 	return 0
 }

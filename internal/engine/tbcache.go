@@ -84,6 +84,19 @@ func (c *tbCache) insert(pc uint32, tb *TB) (canonical *TB, won bool) {
 	return tb, true
 }
 
+// reset drops every cached block. Needed when scheme demotion changes the
+// translation options: blocks translated without store instrumentation are
+// wrong for a scheme that requires it. Callers must also clear per-vCPU
+// local caches.
+func (c *tbCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.snap.Store(nil)
+		s.mu.Unlock()
+	}
+}
+
 // len counts cached blocks across all shards (tests and stats reporting).
 func (c *tbCache) len() int {
 	n := 0

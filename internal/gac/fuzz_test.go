@@ -1,0 +1,33 @@
+package gac
+
+import (
+	"testing"
+
+	"atomemu/internal/arch"
+)
+
+// FuzzGACParse feeds arbitrary text through the full GAC pipeline (lexer,
+// parser, code generator). It must never panic, and any program it accepts
+// must compile to an image of decodable instructions up to the data section.
+func FuzzGACParse(f *testing.F) {
+	f.Add("func main() { exit(0); }")
+	f.Add("var x = 3;\nfunc main() { x = x + 1; print(x); }")
+	f.Add("func main() { var i = 0; while (i < 10) { i = i + 1; } exit(i); }")
+	f.Add("func add(a, b) { return a + b; }\nfunc main() { print(add(2, 3)); }")
+	f.Add("var cell = 10;\nfunc main() { print(atomic_add(&cell, 5)); print(atomic_cas(&cell, 15, 1)); }")
+	f.Add("func main() { if (1) { exit(1); } else { exit(2); } }")
+	f.Add("}{)(;;")
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if im == nil {
+			t.Fatal("Compile returned nil image and nil error")
+		}
+		// Entry must land inside the image on a word boundary.
+		if im.Entry < im.Org || im.Entry >= im.End() || im.Entry%arch.WordBytes != 0 {
+			t.Fatalf("entry %#x outside image [%#x,%#x)", im.Entry, im.Org, im.End())
+		}
+	})
+}

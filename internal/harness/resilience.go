@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"atomemu/internal/engine"
+	"atomemu/internal/faultinject"
 )
 
 // ResilienceRow is one (scheme, mode) run of the lock-free-stack bench.
@@ -12,7 +13,11 @@ type ResilienceRow struct {
 	Scheme string
 	// Strict runs the paper-faithful policy (livelock crashes the run);
 	// otherwise the resilience layer degrades the scheme and completes.
-	Strict      bool
+	Strict bool
+	// Recovery runs the resilient policy with checkpointing on and an
+	// injected mid-run store fault: the run is killed mid-flight and must
+	// roll back to the last checkpoint and complete.
+	Recovery    bool
 	Threads     int
 	Crashed     bool
 	Reason      string
@@ -23,11 +28,17 @@ type ResilienceRow struct {
 	BackoffWaits  uint64
 	Fallbacks     uint64
 	WatchdogTrips uint64
+	// Checkpoint/rollback counters (recovery mode only).
+	Checkpoints uint64
+	Restores    uint64
 }
 
 // Mode names the row's policy for display.
 func (r ResilienceRow) Mode() string {
-	if r.Strict {
+	switch {
+	case r.Recovery:
+		return "recovery"
+	case r.Strict:
 		return "strict"
 	}
 	return "resilient"
@@ -95,6 +106,50 @@ func RunResilience(threads int, totalOps uint64, nodes uint32, progress Progress
 			}
 			exp.Rows = append(exp.Rows, row)
 		}
+		// Recovery scenario: resilient policy with checkpointing on and a
+		// one-shot store fault injected mid-run. The run must roll back to
+		// the last checkpoint, re-execute, and still produce a clean stack.
+		pairs := (totalOps / uint64(threads)) * uint64(threads)
+		cfg := engine.DefaultConfig(scheme)
+		cfg.MaxGuestInstrs = 4_000_000_000
+		cfg.StrictPaper = false
+		// Each push/pop pair performs ~2 guest stores and ~450 virtual
+		// cycles, so a fault after `pairs` stores lands mid-run and the
+		// checkpoint cadence of pairs*10 cycles guarantees several cuts
+		// before it fires.
+		cfg.CheckpointEvery = pairs * 10
+		cfg.FaultInjector = faultinject.New(faultinject.Rule{
+			Op:     faultinject.OpMemStore,
+			Action: faultinject.ActFault,
+			After:  pairs,
+			Count:  1,
+		})
+		run, err := runStack(cfg, threads, totalOps, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("harness: resilience %s recovery: %w", scheme, err)
+		}
+		row := ResilienceRow{
+			Scheme:        scheme,
+			Recovery:      true,
+			Threads:       threads,
+			Crashed:       run.Crashed,
+			Reason:        run.Reason,
+			CorruptPct:    run.CorruptPct,
+			VirtualTime:   run.VirtualTime,
+			Retries:       run.Stats.HTMRetries,
+			BackoffWaits:  run.Stats.HTMBackoffWaits,
+			Fallbacks:     run.Stats.SchemeFallbacks,
+			WatchdogTrips: run.Stats.WatchdogTrips,
+			Checkpoints:   run.Stats.Checkpoints,
+			Restores:      run.Stats.RecoveryRestores,
+		}
+		if row.Crashed {
+			progress("%-9s %-9s t=%-3d CRASH: %s", scheme, row.Mode(), threads, row.Reason)
+		} else {
+			progress("%-9s %-9s t=%-3d vt=%-12d ckpts=%d restores=%d corrupt=%.2f%%",
+				scheme, row.Mode(), threads, row.VirtualTime, row.Checkpoints, row.Restores, row.CorruptPct)
+		}
+		exp.Rows = append(exp.Rows, row)
 	}
 	return exp, nil
 }
@@ -103,9 +158,10 @@ func RunResilience(threads int, totalOps uint64, nodes uint32, progress Progress
 func (exp *Resilience) Render(w io.Writer) {
 	fmt.Fprintf(w, "Resilience — lock-free stack, %d threads, %d op pairs, %d nodes\n",
 		exp.Threads, exp.Ops, exp.Nodes)
-	fmt.Fprintf(w, "(strict = paper policy: HTM livelock aborts the run; resilient = default: degrade and complete)\n\n")
-	fmt.Fprintf(w, "  %-9s %-9s %-8s %10s %10s %10s %9s  %s\n",
-		"scheme", "mode", "outcome", "retries", "backoffs", "fallbacks", "corrupt%", "detail")
+	fmt.Fprintf(w, "(strict = paper policy: HTM livelock aborts the run; resilient = default: degrade and complete;\n")
+	fmt.Fprintf(w, " recovery = resilient + checkpointing with an injected mid-run fault, rolled back and completed)\n\n")
+	fmt.Fprintf(w, "  %-9s %-9s %-8s %10s %10s %10s %8s %8s %9s  %s\n",
+		"scheme", "mode", "outcome", "retries", "backoffs", "fallbacks", "ckpts", "restores", "corrupt%", "detail")
 	for _, r := range exp.Rows {
 		outcome := "ok"
 		detail := fmt.Sprintf("vt=%d", r.VirtualTime)
@@ -113,17 +169,18 @@ func (exp *Resilience) Render(w io.Writer) {
 			outcome = "crash"
 			detail = r.Reason
 		}
-		fmt.Fprintf(w, "  %-9s %-9s %-8s %10d %10d %10d %9.2f  %s\n",
-			r.Scheme, r.Mode(), outcome, r.Retries, r.BackoffWaits, r.Fallbacks, r.CorruptPct, detail)
+		fmt.Fprintf(w, "  %-9s %-9s %-8s %10d %10d %10d %8d %8d %9.2f  %s\n",
+			r.Scheme, r.Mode(), outcome, r.Retries, r.BackoffWaits, r.Fallbacks,
+			r.Checkpoints, r.Restores, r.CorruptPct, detail)
 	}
 }
 
-// CSV writes rows: scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,corrupt_pct,virtual_time.
+// CSV writes rows: scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,checkpoints,restores,corrupt_pct,virtual_time.
 func (exp *Resilience) CSV(w io.Writer) {
-	fmt.Fprintln(w, "scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,corrupt_pct,virtual_time")
+	fmt.Fprintln(w, "scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,checkpoints,restores,corrupt_pct,virtual_time")
 	for _, r := range exp.Rows {
-		fmt.Fprintf(w, "%s,%s,%d,%v,%d,%d,%d,%d,%.4f,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%v,%d,%d,%d,%d,%d,%d,%.4f,%d\n",
 			r.Scheme, r.Mode(), r.Threads, r.Crashed, r.Retries, r.BackoffWaits,
-			r.Fallbacks, r.WatchdogTrips, r.CorruptPct, r.VirtualTime)
+			r.Fallbacks, r.WatchdogTrips, r.Checkpoints, r.Restores, r.CorruptPct, r.VirtualTime)
 	}
 }

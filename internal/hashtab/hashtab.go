@@ -147,3 +147,27 @@ func (t *Table) Clear() {
 		t.entries[i].Store(Empty)
 	}
 }
+
+// Snapshot copies every entry for a checkpoint. LockBits are cleared in
+// the copy: an entry locked at capture time belongs to an SC that will not
+// exist after a restore (monitors are disarmed), and a stuck lock from
+// fault injection must not survive rollback either.
+func (t *Table) Snapshot() []uint32 {
+	out := make([]uint32, len(t.entries))
+	for i := range t.entries {
+		out[i] = t.entries[i].Load() &^ LockBit
+	}
+	return out
+}
+
+// Restore installs entries captured by Snapshot. Call only at machine
+// quiescence.
+func (t *Table) Restore(entries []uint32) {
+	for i := range t.entries {
+		v := Empty
+		if i < len(entries) {
+			v = entries[i] &^ LockBit
+		}
+		t.entries[i].Store(v)
+	}
+}

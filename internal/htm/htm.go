@@ -177,6 +177,37 @@ func (tm *TM) NotifyStore(addr uint32) {
 	}
 }
 
+// SnapshotWords copies every slot's lock word for a checkpoint. A word
+// locked by an open transaction (a vCPU parked mid LL/SC window) is
+// recorded as a fresh unlocked version and poison bits are dropped: a
+// restore aborts every live transaction, so neither its locks nor its
+// poisoning may be resurrected.
+func (tm *TM) SnapshotWords() []uint64 {
+	out := make([]uint64, len(tm.locks))
+	for i := range tm.locks {
+		w := tm.locks[i].Load()
+		if w&lockedBit != 0 {
+			w = 0
+		}
+		out[i] = w &^ uint64(poisonBit)
+	}
+	return out
+}
+
+// RestoreWords installs a SnapshotWords copy. Call only at machine
+// quiescence, after every live transaction has been aborted and every
+// store watcher released (the active count is not part of the snapshot —
+// it reaches zero through those aborts/releases).
+func (tm *TM) RestoreWords(words []uint64) {
+	for i := range tm.locks {
+		var w uint64
+		if i < len(words) {
+			w = words[i]
+		}
+		tm.locks[i].Store(w)
+	}
+}
+
 type readEntry struct {
 	slot uint32
 	ver  uint64

@@ -112,10 +112,14 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mmu: %s fault on %s at %#08x", f.Kind, f.Access, f.Addr)
 }
 
-// pte layout: bit 0 present, bits 1..3 perm, bits 8.. frame index.
+// pte layout: bit 0 present, bits 1..3 perm, bit 4 dirty, bits 8.. frame
+// index. The dirty bit is set on every store resolution and consumed (and
+// cleared) by Snapshot, so incremental snapshots copy only frames written
+// since the previous one.
 const (
 	ptePresent    = 1
 	ptePermShift  = 1
+	pteDirty      = 1 << 4
 	pteFrameShift = 8
 )
 
@@ -172,8 +176,12 @@ func (m *Memory) setPTE(addr uint32, v uint64) {
 	m.leafFor(addr, true).ptes[addr>>PageShift&0x3ff].Store(v)
 }
 
+// makePTE builds a present entry with the dirty bit set: every structural
+// change (Map, Protect, Alias, Remap) conservatively marks the page dirty
+// so the next incremental snapshot re-copies its frame. Without this a
+// recycled frame index could alias a stale copy in the previous snapshot.
 func makePTE(frame int32, perm Perm) uint64 {
-	return uint64(frame)<<pteFrameShift | uint64(perm)<<ptePermShift | ptePresent
+	return uint64(frame)<<pteFrameShift | uint64(perm)<<ptePermShift | pteDirty | ptePresent
 }
 
 func pteFrame(p uint64) int32 { return int32(p >> pteFrameShift) }
@@ -357,6 +365,14 @@ func (m *Memory) resolve(addr uint32, need Perm, access AccessKind) (*[PageWords
 	if ptePerm(p)&need != need {
 		return nil, 0, &Fault{Addr: addr, Kind: FaultProtected, Access: access}
 	}
+	if access == AccessStore && p&pteDirty == 0 {
+		// Lock-free dirty marking: the Or races only with identical Ors
+		// and with structural changes, which rewrite the pte wholesale
+		// (and themselves set dirty), so no update is lost.
+		if l := m.dir[addr>>22].Load(); l != nil {
+			l.ptes[addr>>PageShift&0x3ff].Or(pteDirty)
+		}
+	}
 	return m.frames[pteFrame(p)], addr & PageMask / 4, nil
 }
 
@@ -467,3 +483,106 @@ func (m *Memory) CASWordPriv(addr, old, new uint32) (bool, *Fault) {
 
 // PageBase returns the base address of the page containing addr.
 func PageBase(addr uint32) uint32 { return addr &^ PageMask }
+
+// PageSnap records one mapped guest page: base address, permissions and
+// backing frame index. Aliased pages (Alias, Remap) share a frame index,
+// so alias structure survives a snapshot/restore round trip.
+type PageSnap struct {
+	Base  uint32
+	Perm  Perm
+	Frame int32
+}
+
+// Snapshot is a consistent copy of the address space: every mapped page
+// plus the contents of every referenced frame. Frame slices are immutable
+// once captured; incremental snapshots share them with their predecessor
+// when the frame was not written in between.
+type Snapshot struct {
+	Pages  []PageSnap
+	Frames map[int32][]uint32
+	// Copied counts frames copied fresh in this snapshot (as opposed to
+	// shared with prev) — observability for the incremental path.
+	Copied int
+}
+
+// SnapshotPages captures the address space. prev, when non-nil, is the
+// previous snapshot: frames whose pages carry no dirty bit are shared with
+// it instead of re-copied. All dirty bits are cleared. The caller must
+// guarantee quiescence (no concurrent guest stores); the engine takes
+// snapshots inside its exclusive section.
+func (m *Memory) SnapshotPages(prev *Snapshot) *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{Frames: make(map[int32][]uint32)}
+	dirtyFrames := make(map[int32]bool)
+	for di := range m.dir {
+		l := m.dir[di].Load()
+		if l == nil {
+			continue
+		}
+		for pi := range l.ptes {
+			p := l.ptes[pi].Load()
+			if p&ptePresent == 0 {
+				continue
+			}
+			base := uint32(di)<<22 | uint32(pi)<<PageShift
+			f := pteFrame(p)
+			s.Pages = append(s.Pages, PageSnap{Base: base, Perm: ptePerm(p), Frame: f})
+			if p&pteDirty != 0 {
+				dirtyFrames[f] = true
+				l.ptes[pi].And(^uint64(pteDirty))
+			} else if _, seen := dirtyFrames[f]; !seen {
+				dirtyFrames[f] = false
+			}
+		}
+	}
+	for f, dirty := range dirtyFrames {
+		if !dirty && prev != nil {
+			if words, ok := prev.Frames[f]; ok {
+				s.Frames[f] = words
+				continue
+			}
+		}
+		words := make([]uint32, PageWords)
+		copy(words, m.frames[f][:])
+		s.Frames[f] = words
+		s.Copied++
+	}
+	return s
+}
+
+// Restore rebuilds the address space from a snapshot: the page table is
+// replaced wholesale and every referenced frame's contents are copied back
+// in. Frames allocated after the snapshot are recycled. The snapshot
+// itself is not consumed and stays valid for further restores. Like
+// SnapshotPages, this requires quiescence.
+func (m *Memory) Restore(s *Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.dir {
+		m.dir[i].Store(nil)
+	}
+	used := make(map[int32]bool, len(s.Frames))
+	for f, words := range s.Frames {
+		if m.frames[f] == nil {
+			m.frames[f] = new([PageWords]uint32)
+			if int(f) >= m.nextFrame {
+				m.nextFrame = int(f) + 1
+			}
+		}
+		copy(m.frames[f][:], words)
+		used[f] = true
+	}
+	m.freeList = m.freeList[:0]
+	for f := 0; f < m.nextFrame; f++ {
+		if m.frames[f] != nil && !used[int32(f)] {
+			m.freeList = append(m.freeList, int32(f))
+		}
+	}
+	// makePTE marks every restored page dirty, so the next incremental
+	// snapshot re-copies all frames rather than trusting pre-rollback
+	// sharing.
+	for _, pg := range s.Pages {
+		m.setPTE(pg.Base, makePTE(pg.Frame, pg.Perm))
+	}
+}

@@ -1,0 +1,94 @@
+package mmu
+
+import "testing"
+
+// TestSnapshotRestoreRoundTrip: a snapshot must reproduce the exact memory
+// image it captured, and stay valid for a second restore after further
+// mutation.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(1 << 20)
+	if err := m.Map(0x1000, 2*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 16; i++ {
+		if f := m.StoreWord(0x1000+i*4, 0xA0+i); f != nil {
+			t.Fatal(f)
+		}
+	}
+	snap := m.SnapshotPages(nil)
+
+	// Mutate: overwrite captured words and map a new region.
+	for i := uint32(0); i < 16; i++ {
+		if f := m.StoreWord(0x1000+i*4, 0xdead); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if err := m.Map(0x9000, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		m.Restore(snap)
+		for i := uint32(0); i < 16; i++ {
+			v, f := m.LoadWord(0x1000 + i*4)
+			if f != nil {
+				t.Fatal(f)
+			}
+			if v != 0xA0+i {
+				t.Fatalf("round %d: word %d = %#x, want %#x", round, i, v, 0xA0+i)
+			}
+		}
+		// The post-snapshot mapping must be gone.
+		if _, f := m.LoadWord(0x9000); f == nil {
+			t.Fatalf("round %d: page mapped after the snapshot survived restore", round)
+		}
+		// Mutate again so the second restore has work to undo.
+		if f := m.StoreWord(0x1000, 0xbeef); f != nil {
+			t.Fatal(f)
+		}
+	}
+}
+
+// TestSnapshotIncrementalSharing: a second snapshot with no intervening
+// writes copies nothing; touching one page re-copies only its frame.
+func TestSnapshotIncrementalSharing(t *testing.T) {
+	m := New(1 << 20)
+	if err := m.Map(0x1000, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint32(0); p < 4; p++ {
+		if f := m.StoreWord(0x1000+p*PageSize, p); f != nil {
+			t.Fatal(f)
+		}
+	}
+	s1 := m.SnapshotPages(nil)
+	if s1.Copied != 4 {
+		t.Fatalf("first snapshot copied %d frames, want 4", s1.Copied)
+	}
+	s2 := m.SnapshotPages(s1)
+	if s2.Copied != 0 {
+		t.Fatalf("idle incremental snapshot copied %d frames, want 0", s2.Copied)
+	}
+	if f := m.StoreWord(0x1000+2*PageSize, 99); f != nil {
+		t.Fatal(f)
+	}
+	s3 := m.SnapshotPages(s2)
+	if s3.Copied != 1 {
+		t.Fatalf("one dirty page, snapshot copied %d frames, want 1", s3.Copied)
+	}
+	// The shared (clean) frames must still restore the original contents.
+	m.Restore(s3)
+	for p := uint32(0); p < 4; p++ {
+		want := p
+		if p == 2 {
+			want = 99
+		}
+		v, f := m.LoadWord(0x1000 + p*PageSize)
+		if f != nil {
+			t.Fatal(f)
+		}
+		if v != want {
+			t.Fatalf("page %d word = %d, want %d", p, v, want)
+		}
+	}
+}

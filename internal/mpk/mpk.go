@@ -96,6 +96,27 @@ func (u *Unit) UntagPage(page uint32) {
 	}
 }
 
+// Reset clears every page tag and returns all 15 keys to the pool — the
+// checkpoint-restore path: restored monitors are disarmed, so no page may
+// stay tagged and no key may stay allocated. Call only at quiescence.
+func (u *Unit) Reset() {
+	for di := range u.dir {
+		l := u.dir[di].Load()
+		if l == nil {
+			continue
+		}
+		for pi := range l.keys {
+			l.keys[pi].Store(0)
+		}
+	}
+	u.mu.Lock()
+	u.free = u.free[:0]
+	for k := uint8(1); k < NumKeys; k++ {
+		u.free = append(u.free, k)
+	}
+	u.mu.Unlock()
+}
+
 // KeyOf returns the key tagged on addr's page, or 0 for untagged pages.
 // This is the store fast path: one (usually nil) pointer load plus one
 // atomic load, the software stand-in for the hardware's free TLB check.

@@ -20,6 +20,7 @@ const (
 	CompInstrument                  // store/LL/SC instrumentation
 	CompMProtect                    // protection syscalls and page faults
 	CompHTM                         // transaction begin/commit/abort
+	CompCheckpoint                  // checkpoint capture (off the guest-visible clock)
 	NumComponents
 )
 
@@ -29,6 +30,7 @@ var componentNames = [NumComponents]string{
 	CompInstrument: "instrument",
 	CompMProtect:   "mprotect",
 	CompHTM:        "htm",
+	CompCheckpoint: "checkpoint",
 }
 
 func (c Component) String() string {
@@ -62,6 +64,14 @@ type CPU struct {
 	HTMBackoffWaits uint64 // backoff waits taken before those retries
 	SchemeFallbacks uint64 // monitors demoted to the portable fallback path
 	WatchdogTrips   uint64 // progress-watchdog diagnostics raised
+
+	// Checkpoint/recovery events. These live at machine level (per-CPU
+	// counters are themselves rolled back by a restore) and are merged into
+	// the aggregate by engine.Machine.AggregateStats; per-vCPU values stay 0.
+	Checkpoints      uint64 // consistent cuts captured
+	CheckpointPages  uint64 // page frames copied across all captures
+	RecoveryAttempts uint64 // rollback recoveries attempted
+	RecoveryRestores uint64 // checkpoint restores completed
 
 	// Translation-cache events (the host-side contention story: shared
 	// lookups are lock-free, and racing same-pc translations discard the
@@ -105,6 +115,10 @@ func (c *CPU) Add(other *CPU) {
 	c.HTMBackoffWaits += other.HTMBackoffWaits
 	c.SchemeFallbacks += other.SchemeFallbacks
 	c.WatchdogTrips += other.WatchdogTrips
+	c.Checkpoints += other.Checkpoints
+	c.CheckpointPages += other.CheckpointPages
+	c.RecoveryAttempts += other.RecoveryAttempts
+	c.RecoveryRestores += other.RecoveryRestores
 	c.TBSharedLookups += other.TBSharedLookups
 	c.TBTranslations += other.TBTranslations
 	c.TBRaceDiscards += other.TBRaceDiscards
