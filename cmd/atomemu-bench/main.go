@@ -10,6 +10,8 @@
 //	atomemu-bench litmus       Seq1–Seq4 atomicity matrix (§IV-A)
 //	atomemu-bench contention   host-side SC/TB-dispatch throughput sweep
 //	atomemu-bench resilience   HTM schemes at livelock scale, strict vs resilient
+//	atomemu-bench soak         multi-tenant daemon soak: concurrent clients,
+//	                           fault injection, breaker/shed/drain accounting
 //	atomemu-bench all          everything above
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
@@ -44,8 +46,13 @@ func run(args []string) error {
 	stackThreads := fs.Int("stack-threads", 16, "threads for the correctness run")
 	stackNodes := fs.Uint("stack-nodes", 64, "stack nodes for the correctness run")
 	attempts := fs.Int("attempts", 6, "PICO-CAS retry attempts for the correctness run")
+	soakClients := fs.Int("soak-clients", 8, "concurrent clients for the soak run")
+	soakJobs := fs.Int("soak-jobs", 12, "jobs per client for the soak run")
+	soakWorkers := fs.Int("soak-workers", 4, "daemon workers for the soak run")
+	soakQueue := fs.Int("soak-queue", 4, "daemon queue depth for the soak run")
+	soakSeed := fs.Int64("soak-seed", 1, "job-mix seed for the soak run")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|soak|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -161,10 +168,21 @@ func run(args []string) error {
 			r.Render(os.Stdout)
 			return saveCSV("resilience.csv", r.CSV)
 		},
+		"soak": func() error {
+			r, err := harness.RunSoak(harness.SoakOptions{
+				Clients: *soakClients, JobsPerClient: *soakJobs,
+				Workers: *soakWorkers, QueueDepth: *soakQueue, Seed: *soakSeed,
+			}, progress)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return saveCSV("soak.csv", r.CSV)
+		},
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience"} {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience", "soak"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -18,13 +18,11 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"atomemu/internal/asm"
-	"atomemu/internal/core"
 	"atomemu/internal/engine"
 	"atomemu/internal/gac"
 	"atomemu/internal/harness"
@@ -41,20 +39,12 @@ func main() {
 
 // exitCode maps machine failures to distinct process exit codes so scripts
 // can tell a guest deadlock from a scheme fault from exhausted recovery.
-// RecoveryExhaustedError wraps the final error, so it is matched first.
+// The classification lives in engine.ClassifyStop, shared with the job
+// daemon so the two cannot drift; errors from outside the engine (bad
+// flags, unreadable files) classify as StopError = 1.
 func exitCode(err error) int {
-	var rex *engine.RecoveryExhaustedError
-	if errors.As(err, &rex) {
-		return 4
-	}
-	var dead *core.DeadlockError
-	if errors.As(err, &dead) {
-		return 2
-	}
-	var wd *core.WatchdogError
-	var em *core.EmulationError
-	if errors.As(err, &wd) || errors.As(err, &em) {
-		return 3
+	if c := engine.ClassifyStop(err); c != engine.StopOK {
+		return c.ExitCode()
 	}
 	return 1
 }

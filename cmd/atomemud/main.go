@@ -1,0 +1,114 @@
+// Command atomemud serves emulation jobs over HTTP/JSON.
+//
+//	atomemud [-addr :8347] [-workers 4] [-queue 16]
+//
+// Endpoints:
+//
+//	POST /jobs        submit a server.JobRequest; 202 with {"id": ...},
+//	                  400 on a bad request, 429 when the queue is full,
+//	                  503 while draining
+//	GET  /jobs        list all job statuses
+//	GET  /jobs/{id}   one job's status (live counters while running)
+//	GET  /healthz     liveness + metrics (always 200 while the process is up)
+//	GET  /readyz      admission readiness (503 once draining starts)
+//	GET  /statz       metrics + per-scheme circuit-breaker states
+//
+// On SIGTERM or SIGINT the daemon stops admitting (503), finishes every
+// accepted job — cancelling stragglers after -drain-grace — and exits 0
+// once all jobs are terminal. A second signal aborts the HTTP server
+// immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"atomemu/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atomemud:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 4, "concurrent emulation workers")
+	queue := flag.Int("queue", 16, "job queue depth (full queue sheds with 429)")
+	wallDeadline := flag.Duration("wall-deadline", 30*time.Second, "default per-job wall-clock budget")
+	maxWallDeadline := flag.Duration("max-wall-deadline", 2*time.Minute, "cap on tenant-requested wall budgets")
+	virtDeadline := flag.Uint64("virtual-deadline", 2_000_000_000, "default per-job virtual-cycle budget")
+	maxInstrs := flag.Uint64("max-instrs", 4_000_000_000, "cap on guest instructions per job")
+	maxThreads := flag.Int("max-threads", 64, "cap on threads per job")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "scheme failures before the breaker opens (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "time to let jobs finish on SIGTERM before cancelling them")
+	allowFault := flag.Bool("allow-fault-inject", false, "accept fault-injection rules in job requests (soak/CI only)")
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers:                *workers,
+		QueueDepth:             *queue,
+		DefaultWallDeadline:    *wallDeadline,
+		MaxWallDeadline:        *maxWallDeadline,
+		DefaultVirtualDeadline: *virtDeadline,
+		MaxGuestInstrs:         *maxInstrs,
+		MaxThreadsPerJob:       *maxThreads,
+		BreakerThreshold:       *breakerThreshold,
+		BreakerCooldown:        *breakerCooldown,
+		DrainGrace:             *drainGrace,
+		AllowFaultInjection:    *allowFault,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	log.Printf("atomemud: listening on %s (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // second signal kills the process via default handling
+
+	log.Printf("atomemud: draining (grace %s)", *drainGrace)
+	// Drain first so in-flight status polls keep working until every
+	// accepted job is terminal, then close the HTTP server.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	m := s.Metrics()
+	log.Printf("atomemud: drained clean (accepted=%d completed=%d failed=%d canceled=%d shed=%d)",
+		m.Accepted, m.Completed, m.Failed, m.Canceled, m.Shed)
+	return nil
+}

@@ -117,6 +117,11 @@ func (m *Machine) capture(c *CPU) {
 // come back empty — each vCPU that was blocked at the cut re-executes its
 // syscall on resumption and re-joins the rebuilt queue.
 func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
+	// Owning the machine does not exclude host-side status pollers: a live
+	// AggregateStats read stops the (empty) world via exclHolder, so holding
+	// it across the rewrite of per-vCPU state keeps those reads race-free.
+	m.excl.exclHolder.Lock()
+	defer m.excl.exclHolder.Unlock()
 	m.cpuMu.Lock()
 	all := append([]*CPU(nil), m.cpus...)
 	m.cpuMu.Unlock()

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMachineChurn is the lifecycle stress the job server leans on: many
+// short-lived machines created, run under a context, randomly cancelled
+// mid-flight (often mid-checkpoint), polled for stats, and dropped. Run
+// under -race it shakes out lifecycle data races; the goroutine census at
+// the end catches vCPU or watchdog goroutines that outlive their machine.
+func TestMachineChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn stress in -short mode")
+	}
+	im := buildImage(t, statsPollImage)
+	schemes := []string{"pico-cas", "hst", "hst-htm"}
+
+	baseline := runtime.NumGoroutine()
+	const lanes, perLane = 8, 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ran, cancelled int
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(lane) + 1))
+			for i := 0; i < perLane; i++ {
+				cfg := DefaultConfig(schemes[rng.Intn(len(schemes))])
+				cfg.MaxGuestInstrs = 50_000_000
+				if rng.Intn(2) == 0 {
+					cfg.CheckpointEvery = uint64(2_000 + rng.Intn(8_000))
+				}
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.LoadImage(im); err != nil {
+					t.Error(err)
+					return
+				}
+				threads := 1 + rng.Intn(4)
+				for w := 0; w < threads; w++ {
+					if _, err := m.SpawnThread(im.Entry, uint32(2_000+rng.Intn(4_000))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				if d := rng.Intn(3); d > 0 {
+					// Most runs get a kill timer short enough to land
+					// mid-run; the rest run to completion.
+					time.AfterFunc(time.Duration(50+rng.Intn(2000))*time.Microsecond, cancel)
+				}
+				err = m.RunContext(ctx)
+				cancel()
+				// Whatever the outcome, the machine must stay inspectable.
+				_ = m.AggregateStats()
+				_ = m.Output()
+				_ = m.VirtualTime()
+				mu.Lock()
+				if err == context.Canceled {
+					cancelled++
+				} else if err != nil {
+					mu.Unlock()
+					t.Errorf("lane %d run %d: %v", lane, i, err)
+					return
+				}
+				ran++
+				mu.Unlock()
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if ran == 0 {
+		t.Fatal("no machine survived the churn")
+	}
+	if cancelled == 0 {
+		t.Fatal("no run was cancelled; the churn never exercised teardown mid-flight")
+	}
+	t.Logf("churn: %d runs, %d cancelled mid-flight", ran, cancelled)
+
+	// Every machine is gone; their goroutines must be too. Allow a little
+	// slack for runtime helpers and give stragglers time to park.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+4 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+4 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, baseline,
+			buf[:runtime.Stack(buf, true)])
+	}
+}

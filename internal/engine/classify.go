@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"errors"
+
+	"atomemu/internal/core"
+)
+
+// StopClass classifies how a Run/RunContext finished. Its integer value is
+// the process exit code cmd/atomemu has always used, and the job daemon
+// reports the same classification, so the two cannot drift.
+type StopClass int
+
+// Stop classes, in exit-code order.
+const (
+	// StopOK: the guest ran to completion.
+	StopOK StopClass = 0
+	// StopError: any failure without a more specific class (I/O errors,
+	// cancellation, deadline, guest faults, vCPU panics).
+	StopError StopClass = 1
+	// StopDeadlock: every live vCPU was parked in a guest syscall with no
+	// wake in flight (core.DeadlockError).
+	StopDeadlock StopClass = 2
+	// StopFault: the emulation scheme failed — a scheme-level
+	// core.EmulationError or a progress-watchdog trip.
+	StopFault StopClass = 3
+	// StopRecoveryExhausted: rollback recovery used its whole attempt
+	// budget without a clean finish.
+	StopRecoveryExhausted StopClass = 4
+)
+
+// String names the class for status reports.
+func (c StopClass) String() string {
+	switch c {
+	case StopOK:
+		return "ok"
+	case StopDeadlock:
+		return "deadlock"
+	case StopFault:
+		return "fault"
+	case StopRecoveryExhausted:
+		return "recovery-exhausted"
+	}
+	return "error"
+}
+
+// ExitCode returns the class as a process exit code.
+func (c StopClass) ExitCode() int { return int(c) }
+
+// ClassifyStop maps a machine stop error to its StopClass.
+// RecoveryExhaustedError wraps the final failure, so it is matched first —
+// an exhausted run that died on a watchdog trip is class 4, not 3.
+func ClassifyStop(err error) StopClass {
+	if err == nil {
+		return StopOK
+	}
+	var rex *RecoveryExhaustedError
+	if errors.As(err, &rex) {
+		return StopRecoveryExhausted
+	}
+	var dead *core.DeadlockError
+	if errors.As(err, &dead) {
+		return StopDeadlock
+	}
+	var wd *core.WatchdogError
+	var em *core.EmulationError
+	if errors.As(err, &wd) || errors.As(err, &em) {
+		return StopFault
+	}
+	return StopError
+}

@@ -302,8 +302,12 @@ func (cfg *Config) resilience() core.Resilience {
 }
 
 // NewMachine builds a machine with the configured scheme. Zero-valued
-// sizing fields of cfg are filled from DefaultConfig (see Config.normalized).
+// sizing fields of cfg are filled from DefaultConfig (see Config.normalized)
+// and the result must pass Config.Validate.
 func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.normalized()
 	m := &Machine{
 		cfg:      cfg,
@@ -555,7 +559,18 @@ func (m *Machine) VirtualTime() uint64 {
 // AggregateStats sums all vCPU counters and merges in the machine-level
 // checkpoint/recovery counters (which survive rollbacks; per-CPU counters
 // are restored along with the vCPU).
+//
+// Safe to call while the machine is running: per-vCPU counters are plain
+// fields owned by their vCPU goroutine, so the read briefly stops the world
+// (uncharged, like a checkpoint capture) to get a consistent, race-free
+// snapshot — the service layer polls live jobs through this. In StepMode
+// there are no vCPU goroutines and the caller drives all execution, so the
+// read is direct and callers must not step concurrently.
 func (m *Machine) AggregateStats() stats.CPU {
+	if !m.cfg.StepMode {
+		m.excl.hostStop()
+		defer m.excl.hostResume()
+	}
 	var agg stats.CPU
 	for _, c := range m.CPUs() {
 		agg.Add(&c.st)

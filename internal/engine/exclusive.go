@@ -110,6 +110,32 @@ func (e *exclusive) startExclusiveQuiet(c *CPU) {
 // never charges, so this is the same release path under the paired name.)
 func (e *exclusive) endExclusiveQuiet(c *CPU) { e.endExclusive(c) }
 
+// hostStop stops the world from a host thread (one that is not a vCPU and
+// therefore not inside an execution region): status pollers reading live
+// per-vCPU counters, which are plain fields owned by their vCPU goroutine.
+// On return every vCPU is parked outside its execution region and all its
+// prior writes are visible (its execEnd released e.mu, which this acquires);
+// no vCPU re-enters until hostResume. Charges nothing — like the checkpoint
+// section, a host-side read must be invisible to the virtual-time model.
+func (e *exclusive) hostStop() {
+	e.exclHolder.Lock()
+	e.pending.Add(1)
+	e.mu.Lock()
+	for e.running > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// hostResume resumes the world after hostStop.
+func (e *exclusive) hostResume() {
+	e.pending.Add(-1)
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.exclHolder.Unlock()
+}
+
 // lift raises an atomic clock to at least v.
 func lift(a *atomic.Uint64, v uint64) {
 	for {

@@ -1,0 +1,29 @@
+package harness
+
+import "testing"
+
+// TestSoakSmall is a CI-sized soak: a few clients against a deliberately
+// undersized daemon. It must finish with no daemon panics and a clean
+// drain; the full-size run is `atomemu-bench soak`.
+func TestSoakSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	exp, err := RunSoak(SoakOptions{Clients: 3, JobsPerClient: 4, Workers: 2, QueueDepth: 2}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Metrics.Panics != 0 {
+		t.Fatalf("daemon panicked %d times", exp.Metrics.Panics)
+	}
+	if !exp.DrainClean {
+		t.Fatal("drain left non-terminal jobs behind")
+	}
+	if exp.Metrics.Accepted == 0 {
+		t.Fatal("soak accepted no jobs")
+	}
+	tot := exp.Totals()
+	if tot.Submitted+tot.Dropped != 3*4 {
+		t.Fatalf("job accounting leak: submitted %d + dropped %d != 12", tot.Submitted, tot.Dropped)
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"atomemu/internal/core"
+	"atomemu/internal/engine"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker guards one emulation scheme. While open, new jobs asking for the
+// scheme are demoted to portable HST; after the cooldown one probe job runs
+// natively (half-open) and its outcome closes or re-opens the breaker.
+type breaker struct {
+	failures int
+	state    breakerState
+	openedAt time.Time
+	trips    uint64
+}
+
+// breakerSet tracks one breaker per scheme name.
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, now: time.Now,
+		m: make(map[string]*breaker)}
+}
+
+func (bs *breakerSet) get(scheme string) *breaker {
+	b := bs.m[scheme]
+	if b == nil {
+		b = &breaker{}
+		bs.m[scheme] = b
+	}
+	return b
+}
+
+// route decides what scheme a job asking for `scheme` actually runs under.
+// probe is set when this run is the half-open health check whose outcome
+// will close or re-open the breaker. HST is the demotion target and so is
+// never itself demoted — an open HST breaker has nowhere safer to go.
+func (bs *breakerSet) route(scheme string) (effective string, demoted, probe bool) {
+	if bs.threshold <= 0 || scheme == "hst" {
+		return scheme, false, false
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(scheme)
+	switch b.state {
+	case breakerOpen:
+		if bs.now().Sub(b.openedAt) >= bs.cooldown {
+			b.state = breakerHalfOpen
+			return scheme, false, true
+		}
+		return "hst", true, false
+	case breakerHalfOpen:
+		// A probe is already in flight; stay demoted until it reports.
+		return "hst", true, false
+	}
+	return scheme, false, false
+}
+
+// report feeds a finished run back. Only native runs count: a demoted run
+// says nothing about the broken scheme's health. tripworthy marks failures
+// that implicate the scheme (see schemeTripworthy).
+func (bs *breakerSet) report(scheme string, probe, tripworthy bool) {
+	if bs.threshold <= 0 || scheme == "hst" {
+		return
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(scheme)
+	if probe {
+		if tripworthy {
+			b.state = breakerOpen
+			b.openedAt = bs.now()
+			b.trips++
+		} else {
+			b.state = breakerClosed
+			b.failures = 0
+		}
+		return
+	}
+	if b.state != breakerClosed {
+		return
+	}
+	if !tripworthy {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= bs.threshold {
+		b.state = breakerOpen
+		b.openedAt = bs.now()
+		b.trips++
+	}
+}
+
+// BreakerStatus is the wire form of one scheme's breaker.
+type BreakerStatus struct {
+	Scheme   string `json:"scheme"`
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+	Trips    uint64 `json:"trips"`
+}
+
+func (bs *breakerSet) statuses() []BreakerStatus {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(bs.m))
+	for _, s := range core.SchemeNames() {
+		b := bs.m[s]
+		if b == nil {
+			continue
+		}
+		out = append(out, BreakerStatus{Scheme: s, State: b.state.String(),
+			Failures: b.failures, Trips: b.trips})
+	}
+	return out
+}
+
+func (bs *breakerSet) tripCount() uint64 {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var n uint64
+	for _, b := range bs.m {
+		n += b.trips
+	}
+	return n
+}
+
+// schemeTripworthy classifies stop errors that implicate the emulation
+// scheme rather than the guest or its budgets: exhausted rollback recovery,
+// progress-watchdog trips, and scheme-level emulation errors. Guest
+// deadlocks, deadlines, cancellations and memory faults are the tenant's
+// problem and must not poison the scheme for other tenants.
+func schemeTripworthy(err error) bool {
+	var rex *engine.RecoveryExhaustedError
+	var wd *core.WatchdogError
+	var em *core.EmulationError
+	return errors.As(err, &rex) || errors.As(err, &wd) || errors.As(err, &em)
+}

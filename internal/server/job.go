@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"sync"
+	"time"
+
+	"atomemu/internal/asm"
+	"atomemu/internal/engine"
+	"atomemu/internal/faultinject"
+	"atomemu/internal/gac"
+	"atomemu/internal/stats"
+)
+
+// JobRequest is the wire form of a job submission: a guest program (GAC
+// source or an assembled GA32 image) plus the safe subset of the engine
+// Config a tenant may set. Everything else — scheme construction, worker
+// scheduling, breaker routing — belongs to the server.
+type JobRequest struct {
+	// Scheme selects the emulation scheme (core.SchemeNames).
+	Scheme string `json:"scheme"`
+	// GAC is guest source compiled at admission; ImageB64 is a
+	// base64-encoded assembled image (asm.Image.WriteTo). Exactly one.
+	GAC      string `json:"gac,omitempty"`
+	ImageB64 string `json:"image_b64,omitempty"`
+	// Threads spawns this many workers at the image entry (default 1).
+	Threads int `json:"threads,omitempty"`
+	// Arg is passed in r0 to every worker.
+	Arg uint32 `json:"arg,omitempty"`
+	// DeadlineMS is the job's wall-clock budget; 0 takes the server
+	// default, and the server cap always applies.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Config is the tenant-settable engine Config subset.
+	Config JobConfig `json:"config,omitempty"`
+	// Fault holds fault-injection rules, accepted only when the server
+	// was started with fault injection allowed (soak and CI harnesses).
+	Fault []FaultRule `json:"fault,omitempty"`
+}
+
+// JobConfig is the engine Config subset a job may set. Zero values defer to
+// the engine defaults (Config.normalized), except VirtualDeadline, where
+// zero defers to the server's default budget.
+type JobConfig struct {
+	MemBytes         uint32 `json:"mem_bytes,omitempty"`
+	HashBits         uint   `json:"hash_bits,omitempty"`
+	MaxGuestInstrs   uint64 `json:"max_guest_instrs,omitempty"`
+	FuseAtomics      bool   `json:"fuse_atomics,omitempty"`
+	CheckpointEvery  uint64 `json:"checkpoint_every,omitempty"`
+	RecoveryAttempts int    `json:"recovery_attempts,omitempty"`
+	VirtualDeadline  uint64 `json:"virtual_deadline,omitempty"`
+	WatchdogSCFails  int64  `json:"watchdog_sc_fails,omitempty"`
+}
+
+// FaultRule is the wire form of a faultinject.Rule.
+type FaultRule struct {
+	Op     string `json:"op"`     // txn-begin txn-commit hash-unlock mem-load mem-store
+	Action string `json:"action"` // abort poison stick-lock fault
+	TID    uint32 `json:"tid,omitempty"`
+	Addr   uint32 `json:"addr,omitempty"`
+	After  uint64 `json:"after,omitempty"`
+	Count  uint64 `json:"count,omitempty"`
+}
+
+func (r FaultRule) rule() (faultinject.Rule, error) {
+	out := faultinject.Rule{TID: r.TID, Addr: r.Addr, After: r.After, Count: r.Count}
+	switch r.Op {
+	case "txn-begin":
+		out.Op = faultinject.OpTxnBegin
+	case "txn-commit":
+		out.Op = faultinject.OpTxnCommit
+	case "hash-unlock":
+		out.Op = faultinject.OpHashUnlock
+	case "mem-load":
+		out.Op = faultinject.OpMemLoad
+	case "mem-store":
+		out.Op = faultinject.OpMemStore
+	default:
+		return out, fmt.Errorf("unknown fault op %q", r.Op)
+	}
+	switch r.Action {
+	case "abort":
+		out.Action = faultinject.ActAbort
+	case "poison":
+		out.Action = faultinject.ActPoison
+	case "stick-lock":
+		out.Action = faultinject.ActStickLock
+	case "fault":
+		out.Action = faultinject.ActFault
+	default:
+		return out, fmt.Errorf("unknown fault action %q", r.Action)
+	}
+	return out, nil
+}
+
+// JobState is a job's lifecycle position. Terminal states: done, failed,
+// canceled.
+type JobState string
+
+// Job states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire form of GET /jobs/{id}. For a running job the
+// counters are a live quiesced snapshot; for a terminal job they are final.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// SchemeRequested is what the tenant asked for; SchemeEffective is
+	// what the job ran under (the breaker demotes to portable HST while
+	// open, and rollback recovery may demote mid-run).
+	SchemeRequested string `json:"scheme_requested"`
+	SchemeEffective string `json:"scheme_effective,omitempty"`
+	Demoted         bool   `json:"demoted,omitempty"`
+	// Class/ExitCode mirror cmd/atomemu's exit classification
+	// (engine.ClassifyStop); Error is the stop error, if any.
+	Class    string `json:"class,omitempty"`
+	ExitCode int    `json:"exit_code"`
+	Error    string `json:"error,omitempty"`
+
+	Output      []uint32 `json:"output,omitempty"`
+	VirtualTime uint64   `json:"virtual_time"`
+	GuestInstrs uint64   `json:"guest_instrs"`
+	SCs         uint64   `json:"scs"`
+	SCFails     uint64   `json:"sc_fails"`
+	Checkpoints uint64   `json:"checkpoints"`
+	Restores    uint64   `json:"restores"`
+	Fallbacks   uint64   `json:"fallbacks"`
+	Watchdogs   uint64   `json:"watchdog_trips"`
+
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the server-side job record. The mutex guards every mutable field;
+// machine is non-nil only while running, so status requests can take a live
+// snapshot without keeping finished machines alive.
+type job struct {
+	id  string
+	im  *asm.Image
+	cfg engine.Config // validated at admission; Scheme set per run by the breaker
+
+	threads int
+	arg     uint32
+	wallcap time.Duration
+
+	mu      sync.Mutex
+	status  JobStatus
+	machine *engine.Machine
+	cancel  func()
+}
+
+// decode turns a JobRequest into a runnable job, enforcing the server's
+// admission policy. All failures here are the caller's fault (HTTP 400).
+func (s *Server) decode(req JobRequest) (*job, error) {
+	if (req.GAC == "") == (req.ImageB64 == "") {
+		return nil, fmt.Errorf("exactly one of gac or image_b64 is required")
+	}
+	var im *asm.Image
+	var err error
+	if req.GAC != "" {
+		if len(req.GAC) > s.opts.MaxSourceBytes {
+			return nil, fmt.Errorf("gac source %d bytes exceeds the %d-byte limit", len(req.GAC), s.opts.MaxSourceBytes)
+		}
+		im, err = gac.Compile(req.GAC)
+		if err != nil {
+			return nil, fmt.Errorf("gac: %w", err)
+		}
+	} else {
+		raw, derr := base64.StdEncoding.DecodeString(req.ImageB64)
+		if derr != nil {
+			return nil, fmt.Errorf("image_b64: %w", derr)
+		}
+		if len(raw) > s.opts.MaxSourceBytes {
+			return nil, fmt.Errorf("image %d bytes exceeds the %d-byte limit", len(raw), s.opts.MaxSourceBytes)
+		}
+		im, err = asm.ReadImage(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("image: %w", err)
+		}
+	}
+	threads := req.Threads
+	if threads == 0 {
+		threads = 1
+	}
+	if threads < 1 || threads > s.opts.MaxThreadsPerJob {
+		return nil, fmt.Errorf("threads %d out of range [1,%d]", threads, s.opts.MaxThreadsPerJob)
+	}
+	if len(req.Fault) > 0 && !s.opts.AllowFaultInjection {
+		return nil, fmt.Errorf("fault injection is not enabled on this server")
+	}
+	var inj *faultinject.Injector
+	if len(req.Fault) > 0 {
+		rules := make([]faultinject.Rule, 0, len(req.Fault))
+		for _, fr := range req.Fault {
+			r, rerr := fr.rule()
+			if rerr != nil {
+				return nil, rerr
+			}
+			rules = append(rules, r)
+		}
+		inj = faultinject.New(rules...)
+	}
+
+	cfg := engine.DefaultConfig(req.Scheme)
+	cfg.MemBytes = req.Config.MemBytes
+	if req.Config.HashBits != 0 {
+		cfg.HashBits = req.Config.HashBits
+	}
+	cfg.MaxGuestInstrs = req.Config.MaxGuestInstrs
+	cfg.FuseAtomics = req.Config.FuseAtomics
+	cfg.CheckpointEvery = req.Config.CheckpointEvery
+	if req.Config.RecoveryAttempts != 0 {
+		cfg.RecoveryAttempts = req.Config.RecoveryAttempts
+	}
+	cfg.VirtualDeadline = req.Config.VirtualDeadline
+	if cfg.VirtualDeadline == 0 {
+		cfg.VirtualDeadline = s.opts.DefaultVirtualDeadline
+	}
+	if req.Config.WatchdogSCFails != 0 {
+		cfg.WatchdogSCFails = req.Config.WatchdogSCFails
+	}
+	if cfg.MaxGuestInstrs == 0 || cfg.MaxGuestInstrs > s.opts.MaxGuestInstrs {
+		cfg.MaxGuestInstrs = s.opts.MaxGuestInstrs
+	}
+	cfg.FaultInjector = inj
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	wall := s.opts.DefaultWallDeadline
+	if req.DeadlineMS > 0 {
+		wall = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if wall > s.opts.MaxWallDeadline {
+		wall = s.opts.MaxWallDeadline
+	}
+	return &job{
+		im:      im,
+		cfg:     cfg,
+		threads: threads,
+		arg:     req.Arg,
+		wallcap: wall,
+		status: JobStatus{
+			State:           StateQueued,
+			SchemeRequested: req.Scheme,
+			ExitCode:        -1,
+		},
+	}, nil
+}
+
+// snapshot returns the job's wire status; a running job's counters come
+// from a live quiesced machine read.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	m := j.machine
+	st := j.status
+	j.mu.Unlock()
+	if m != nil && st.State == StateRunning {
+		agg := m.AggregateStats()
+		st.VirtualTime = m.VirtualTime()
+		fillStats(&st, agg)
+	}
+	return st
+}
+
+func fillStats(st *JobStatus, agg stats.CPU) {
+	st.GuestInstrs = agg.GuestInstrs
+	st.SCs = agg.SCs
+	st.SCFails = agg.SCFails
+	st.Checkpoints = agg.Checkpoints
+	st.Restores = agg.RecoveryRestores
+	st.Fallbacks = agg.SchemeFallbacks
+	st.Watchdogs = agg.WatchdogTrips
+}

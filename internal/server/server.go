@@ -1,0 +1,507 @@
+// Package server is the multi-tenant emulation job service behind
+// cmd/atomemud: an HTTP/JSON API that accepts guest programs, runs each in
+// an isolated engine.Machine via RunContext on a bounded worker pool, and
+// serves structured results.
+//
+// Robustness is the design center, built from the engine's own resilience
+// primitives:
+//
+//   - Admission control: a bounded queue; submissions beyond it are shed
+//     with 429 instead of queuing without bound, and drains are refused
+//     with 503 before the queue is consulted.
+//   - Per-job isolation: every job gets its own Machine — a misbehaving
+//     guest can exhaust only its own budgets. Worker goroutines contain
+//     panics (the engine already contains vCPU panics), so no job input
+//     can kill the daemon.
+//   - Deadlines: each job runs under a wall-clock context deadline and a
+//     virtual-time deadline; both are capped by server policy.
+//   - Per-scheme circuit breaker: repeated scheme-implicating failures
+//     (recovery exhausted, watchdog trips, emulation errors) open the
+//     scheme's breaker, demoting new jobs to portable HST until a
+//     half-open probe passes — the service-level twin of the engine's
+//     per-run scheme demotion.
+//   - Graceful drain: Drain stops admission, lets queued and running jobs
+//     reach a terminal state (cancelling stragglers after a grace period;
+//     rollback-capable jobs checkpoint-abort via context cancellation),
+//     then stops the workers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atomemu/internal/engine"
+)
+
+// Options is the server policy. Zero values take the defaults below.
+type Options struct {
+	// Workers bounds concurrently running jobs (default 4).
+	Workers int
+	// QueueDepth bounds jobs waiting to run; submissions past it are shed
+	// with 429 (default 16).
+	QueueDepth int
+	// DefaultWallDeadline and MaxWallDeadline budget a job's wall-clock
+	// run time (defaults 30s / 2m).
+	DefaultWallDeadline time.Duration
+	MaxWallDeadline     time.Duration
+	// DefaultVirtualDeadline is applied when a job sets none (default
+	// 2e9 cycles; jobs may set a lower or higher one, engine-validated).
+	DefaultVirtualDeadline uint64
+	// MaxGuestInstrs caps any job's instruction budget (default 4e9).
+	MaxGuestInstrs uint64
+	// MaxThreadsPerJob bounds a job's worker-thread request (default 64).
+	MaxThreadsPerJob int
+	// MaxSourceBytes bounds GAC source / decoded image size (default 1MB).
+	MaxSourceBytes int
+	// BreakerThreshold is how many consecutive scheme-implicating failures
+	// open a scheme's breaker; 0 disables the breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a breaker stays open before a half-open
+	// probe (default 30s).
+	BreakerCooldown time.Duration
+	// DrainGrace is how long Drain waits for in-flight jobs before
+	// cancelling them (default 10s).
+	DrainGrace time.Duration
+	// AllowFaultInjection accepts jobs carrying fault-injection rules —
+	// for soak and CI harnesses, never production tenants.
+	AllowFaultInjection bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.DefaultWallDeadline <= 0 {
+		o.DefaultWallDeadline = 30 * time.Second
+	}
+	if o.MaxWallDeadline <= 0 {
+		o.MaxWallDeadline = 2 * time.Minute
+	}
+	if o.DefaultVirtualDeadline == 0 {
+		o.DefaultVirtualDeadline = 2_000_000_000
+	}
+	if o.MaxGuestInstrs == 0 {
+		o.MaxGuestInstrs = 4_000_000_000
+	}
+	if o.MaxThreadsPerJob <= 0 {
+		o.MaxThreadsPerJob = 64
+	}
+	if o.MaxSourceBytes <= 0 {
+		o.MaxSourceBytes = 1 << 20
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = 10 * time.Second
+	}
+	return o
+}
+
+// Metrics are the service counters, exposed on /healthz and /statz.
+type Metrics struct {
+	Accepted  uint64 `json:"accepted"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// Recovered counts jobs that finished after at least one rollback
+	// restore; Demoted counts jobs the breaker routed to HST.
+	Recovered    uint64 `json:"recovered"`
+	Demoted      uint64 `json:"demoted"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	Panics       uint64 `json:"panics"`
+}
+
+// Server is the job service. Create with New, mount Handler, stop with
+// Drain.
+type Server struct {
+	opts     Options
+	queue    chan *job
+	breakers *breakerSet
+
+	// admitMu serializes admission against the drain transition: Submit
+	// holds it shared while checking draining and enqueuing, so once Drain
+	// (exclusive) has set the flag, nothing more enters the queue.
+	admitMu  sync.RWMutex
+	draining atomic.Bool
+	drainCh  chan struct{} // closed at drain: workers finish the queue and exit
+	killed   atomic.Bool   // drain grace expired: every job, including ones not yet started, is canceled
+
+	workerWG sync.WaitGroup
+	jobWG    sync.WaitGroup // one per accepted job, done at terminal state
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID uint64
+
+	accepted, shed, completed, failed, canceled atomic.Uint64
+	recovered, demoted, panics                  atomic.Uint64
+}
+
+// New builds the server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		queue:    make(chan *job, opts.QueueDepth),
+		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
+		drainCh:  make(chan struct{}),
+		jobs:     make(map[string]*job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SubmitError is a submission failure with its HTTP status: 400 for bad
+// requests, 429 for shed load, 503 while draining.
+type SubmitError struct {
+	Status int
+	Msg    string
+}
+
+func (e *SubmitError) Error() string { return e.Msg }
+
+// Submit admits a job: decode and validate (the expensive part, outside any
+// lock), then atomically check-drain-and-enqueue. The returned job is
+// already visible to Status.
+func (s *Server) Submit(req JobRequest) (string, error) {
+	j, err := s.decode(req)
+	if err != nil {
+		return "", &SubmitError{Status: http.StatusBadRequest, Msg: err.Error()}
+	}
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return "", &SubmitError{Status: http.StatusServiceUnavailable, Msg: "draining"}
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	j.status.ID = j.id
+	j.status.EnqueuedAt = time.Now()
+	s.mu.Unlock()
+	select {
+	case s.queue <- j:
+	default:
+		s.shed.Add(1)
+		return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full"}
+	}
+	// Registered only after winning a queue slot, so a shed job leaves no
+	// record behind.
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	s.jobWG.Add(1)
+	return j.id, nil
+}
+
+// Status returns a job's current status snapshot.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs returns a snapshot of every known job.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(all))
+	for _, j := range all {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// Metrics returns the service counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Accepted:     s.accepted.Load(),
+		Shed:         s.shed.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Canceled:     s.canceled.Load(),
+		Recovered:    s.recovered.Load(),
+		Demoted:      s.demoted.Load(),
+		BreakerTrips: s.breakers.tripCount(),
+		Panics:       s.panics.Load(),
+	}
+}
+
+// Breakers returns the per-scheme breaker states.
+func (s *Server) Breakers() []BreakerStatus { return s.breakers.statuses() }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the server: refuse new submissions, let queued and
+// running jobs reach a terminal state, cancel stragglers after DrainGrace
+// (their machines stop at the next block boundary; rollback-capable jobs
+// abort from their last checkpoint), and stop the workers. Returns nil when
+// every accepted job ended terminal; ctx bounds the whole wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	close(s.drainCh)
+
+	jobsDone := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(jobsDone)
+	}()
+	grace := time.NewTimer(s.opts.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-jobsDone:
+	case <-grace.C:
+		s.cancelRunning()
+		select {
+		case <-jobsDone:
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain timed out with jobs still live: %w", ctx.Err())
+		}
+	case <-ctx.Done():
+		s.cancelRunning()
+		return fmt.Errorf("server: drain aborted: %w", ctx.Err())
+	}
+	s.workerWG.Wait()
+	return nil
+}
+
+// cancelRunning cancels every live job. The killed flag is set first so a
+// queued job popped after this sweep self-cancels on startup (run checks it
+// right after publishing its cancel func) — otherwise a straggler could
+// still burn its full wall-clock budget inside the drain window.
+func (s *Server) cancelRunning() {
+	s.killed.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// worker runs queued jobs until drained: after drainCh closes it keeps
+// pulling until the queue is empty, so every accepted job still runs.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.drainCh:
+			for {
+				select {
+				case j := <-s.queue:
+					s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one job in an isolated machine. The deferred recover is the
+// service's outermost containment: the engine already contains vCPU panics,
+// so this guards host-side setup — no job input may kill the daemon.
+func (s *Server) run(j *job) {
+	defer s.jobWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.finish(j, engine.StopError, fmt.Errorf("server: job panicked: %v", r), nil)
+		}
+	}()
+
+	scheme, demoted, probe := s.breakers.route(j.status.SchemeRequested)
+	if demoted {
+		s.demoted.Add(1)
+	}
+	cfg := j.cfg
+	cfg.Scheme = scheme
+	m, err := engine.NewMachine(cfg)
+	if err == nil {
+		err = m.LoadImage(j.im)
+	}
+	if err == nil {
+		for i := 0; i < j.threads && err == nil; i++ {
+			_, err = m.SpawnThread(j.im.Entry, j.arg)
+		}
+	}
+	if err != nil {
+		s.breakers.report(scheme, probe, false)
+		s.finish(j, engine.StopError, err, nil)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), j.wallcap)
+	defer cancel()
+	j.mu.Lock()
+	j.status.State = StateRunning
+	j.status.StartedAt = time.Now()
+	j.status.SchemeEffective = scheme
+	j.status.Demoted = demoted
+	j.machine = m
+	j.cancel = cancel
+	j.mu.Unlock()
+	if s.killed.Load() {
+		cancel()
+	}
+
+	runErr := m.RunContext(ctx)
+	s.breakers.report(scheme, probe, schemeTripworthy(runErr))
+	s.finish(j, engine.ClassifyStop(runErr), runErr, m)
+}
+
+// finish moves a job to its terminal state and publishes the final result.
+func (s *Server) finish(j *job, class engine.StopClass, err error, m *engine.Machine) {
+	st := StateFailed
+	switch {
+	case err == nil:
+		st = StateDone
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		st = StateCanceled
+		s.canceled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status.State = st
+	j.status.FinishedAt = time.Now()
+	j.status.Class = class.String()
+	j.status.ExitCode = class.ExitCode()
+	if err != nil {
+		j.status.Error = err.Error()
+	}
+	if m != nil {
+		agg := m.AggregateStats()
+		fillStats(&j.status, agg)
+		j.status.VirtualTime = m.VirtualTime()
+		j.status.Output = m.Output()
+		// Mid-run demotion (rollback recovery) also counts as demoted.
+		if eff := m.Scheme().Name(); eff != j.status.SchemeEffective {
+			j.status.SchemeEffective = eff
+			j.status.Demoted = true
+		}
+		if agg.RecoveryRestores > 0 && err == nil {
+			s.recovered.Add(1)
+		}
+	}
+	j.machine = nil
+	j.cancel = nil
+}
+
+// --- HTTP ---
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs        submit a JobRequest    → 202 {id} | 400 | 429 | 503
+//	GET  /jobs        list job statuses
+//	GET  /jobs/{id}   one job's status      → 200 | 404
+//	GET  /healthz     liveness + metrics (200 while the process serves)
+//	GET  /readyz      admission readiness   → 200 | 503 draining
+//	GET  /statz       metrics + breaker states
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req JobRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+				return
+			}
+			id, err := s.Submit(req)
+			if err != nil {
+				se, ok := err.(*SubmitError)
+				if !ok {
+					se = &SubmitError{Status: http.StatusInternalServerError, Msg: err.Error()}
+				}
+				httpError(w, se.Status, se.Msg)
+				return
+			}
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.Jobs())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		}
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		st, ok := s.Status(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job "+id)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "draining": s.Draining(), "metrics": s.Metrics(),
+		})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "queued": len(s.queue), "queue_depth": s.opts.QueueDepth,
+		})
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"metrics": s.Metrics(), "breakers": s.Breakers(),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Server smoke test, run by the CI server-smoke job and usable locally:
+# build atomemud, start it on an ephemeral port, submit PICO-CAS and HST
+# jobs over HTTP, assert their results and the error path, then SIGTERM
+# the daemon with a slow job in flight and require a clean (exit 0) drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+dpid=""
+cleanup() {
+    [ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/atomemud" ./cmd/atomemud
+
+"$tmp/atomemud" -addr 127.0.0.1:0 -workers 2 -drain-grace 2s >"$tmp/daemon.log" 2>&1 &
+dpid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmp/daemon.log" | head -1)
+    if [ -n "$addr" ] && curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    addr=""
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: daemon never became ready"
+    cat "$tmp/daemon.log"
+    exit 1
+fi
+echo "daemon up on $addr"
+
+submit() {
+    curl -fsS "http://$addr/jobs" -d "$1" | grep -o 'job-[0-9]*' | head -1
+}
+
+await() { # $1 = job id; prints the terminal status JSON
+    local body
+    for _ in $(seq 1 300); do
+        body=$(curl -fsS "http://$addr/jobs/$1")
+        case "$body" in
+        *'"state":"done"'* | *'"state":"failed"'* | *'"state":"canceled"'*)
+            echo "$body"
+            return 0
+            ;;
+        esac
+        sleep 0.1
+    done
+    echo "FAIL: job $1 never reached a terminal state" >&2
+    return 1
+}
+
+counter_gac='var c; func main(n) { var i = 0; while (i < n) { atomic_add(&c, 1); i = i + 1; } print(c); exit(0); }'
+
+# PICO-CAS job: 4 threads x 500 atomic increments; the last print is 2000.
+cas_id=$(submit "{\"scheme\":\"pico-cas\",\"threads\":4,\"arg\":500,\"gac\":\"$counter_gac\"}")
+body=$(await "$cas_id")
+echo "$body" | grep -q '"state":"done"' || { echo "FAIL: pico-cas job: $body"; exit 1; }
+echo "$body" | grep -q '"exit_code":0' || { echo "FAIL: pico-cas exit code: $body"; exit 1; }
+echo "$body" | grep -Eq '"output":\[[^]]*\b2000\b' || { echo "FAIL: pico-cas output: $body"; exit 1; }
+echo "pico-cas job ok ($cas_id)"
+
+# HST job: single thread, same program.
+hst_id=$(submit "{\"scheme\":\"hst\",\"arg\":100,\"gac\":\"$counter_gac\"}")
+body=$(await "$hst_id")
+echo "$body" | grep -q '"state":"done"' || { echo "FAIL: hst job: $body"; exit 1; }
+echo "$body" | grep -q '"scheme_effective":"hst"' || { echo "FAIL: hst scheme: $body"; exit 1; }
+echo "hst job ok ($hst_id)"
+
+# Admission must reject nonsense with 400.
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/jobs" \
+    -d '{"scheme":"qemu","gac":"func main(n) { exit(0); }"}')
+[ "$code" = "400" ] || { echo "FAIL: bad scheme returned $code, want 400"; exit 1; }
+echo "bad request rejected with 400"
+
+# SIGTERM with a slow job in flight: the daemon must drain (cancelling the
+# straggler after -drain-grace) and exit 0.
+slow_id=$(submit '{"scheme":"hst","deadline_ms":60000,"gac":"var s; func main(n) { while (1) { s = s + 1; } }"}')
+sleep 0.3
+kill -TERM "$dpid"
+rc=0
+wait "$dpid" || rc=$?
+dpid=""
+if [ "$rc" != "0" ]; then
+    echo "FAIL: daemon exited $rc after SIGTERM"
+    cat "$tmp/daemon.log"
+    exit 1
+fi
+grep -q "drained clean" "$tmp/daemon.log" || { echo "FAIL: no clean-drain log"; cat "$tmp/daemon.log"; exit 1; }
+echo "SIGTERM drain ok (slow job $slow_id cancelled within grace)"
+echo "PASS"
