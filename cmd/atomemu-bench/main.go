@@ -10,6 +10,8 @@
 //	atomemu-bench litmus       Seq1–Seq4 atomicity matrix (§IV-A)
 //	atomemu-bench contention   host-side SC/TB-dispatch throughput sweep
 //	atomemu-bench resilience   HTM schemes at livelock scale, strict vs resilient
+//	atomemu-bench trace        contended HST stack run with the event tracer
+//	                           on; -out DIR also writes Chrome trace JSON
 //	atomemu-bench soak         multi-tenant daemon soak: concurrent clients,
 //	                           fault injection, breaker/shed/drain accounting
 //	atomemu-bench all          everything above
@@ -52,7 +54,7 @@ func run(args []string) error {
 	soakQueue := fs.Int("soak-queue", 4, "daemon queue depth for the soak run")
 	soakSeed := fs.Int64("soak-seed", 1, "job-mix seed for the soak run")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|soak|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -168,6 +170,14 @@ func run(args []string) error {
 			r.Render(os.Stdout)
 			return saveCSV("resilience.csv", r.CSV)
 		},
+		"trace": func() error {
+			tr, err := harness.RunTrace(8, 1<<14, uint32(*stackNodes), progress)
+			if err != nil {
+				return err
+			}
+			tr.Render(os.Stdout)
+			return saveCSV("trace.json", tr.Chrome)
+		},
 		"soak": func() error {
 			r, err := harness.RunSoak(harness.SoakOptions{
 				Clients: *soakClients, JobsPerClient: *soakJobs,
@@ -182,7 +192,7 @@ func run(args []string) error {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience", "soak"} {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience", "trace", "soak"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -26,6 +26,7 @@ import (
 	"atomemu/internal/engine"
 	"atomemu/internal/gac"
 	"atomemu/internal/harness"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 	"atomemu/internal/workload"
 )
@@ -61,7 +62,8 @@ func run() error {
 	nodes := flag.Uint("nodes", 64, "stack nodes (with -stack)")
 	arg := flag.Uint("arg", 0, "r0 argument for -image workers")
 	fuse := flag.Bool("fuse", false, "enable rule-based translation (fuse LL/SC retry loops into host atomics)")
-	trace := flag.Bool("trace", false, "log every executed guest instruction to stderr (-image only)")
+	traceInstrs := flag.Bool("trace-instrs", false, "log every executed guest instruction to stderr (-image only)")
+	traceFile := flag.String("trace", "", "write the atomic-event trace (virtual-timestamped JSON lines) to this file (-image/-gac only)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "capture a recovery checkpoint every N virtual cycles (0 = off; -image/-gac only)")
 	deadline := flag.Uint64("deadline", 0, "abort when any vCPU passes N virtual cycles (0 = no deadline; -image/-gac only)")
 	flag.Parse()
@@ -121,8 +123,11 @@ func run() error {
 		cfg.FuseAtomics = *fuse
 		cfg.CheckpointEvery = *ckptEvery
 		cfg.VirtualDeadline = *deadline
-		if *trace {
+		if *traceInstrs {
 			cfg.TraceWriter = os.Stderr
+		}
+		if *traceFile != "" {
+			cfg.TraceEvents = true
 		}
 		m, err := engine.NewMachine(cfg)
 		if err != nil {
@@ -136,8 +141,16 @@ func run() error {
 				return err
 			}
 		}
-		if err := m.Run(); err != nil {
-			return err
+		runErr := m.Run()
+		// Flush the event trace even when the run failed: a trace of the
+		// cycles leading up to a fault is the whole point of having one.
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, m); err != nil {
+				fmt.Fprintln(os.Stderr, "atomemu: writing trace:", err)
+			}
+		}
+		if runErr != nil {
+			return runErr
 		}
 		for _, v := range m.Output() {
 			fmt.Println(v)
@@ -147,6 +160,24 @@ func run() error {
 	}
 	flag.Usage()
 	return fmt.Errorf("one of -image, -gac, -program or -stack is required (programs: %v)", names())
+}
+
+// writeTrace dumps the machine's merged event stream as JSON lines.
+func writeTrace(path string, m *engine.Machine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := m.TraceEvents()
+	if dropped := m.TraceDropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "atomemu: trace rings overflowed, %d oldest events dropped\n", dropped)
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "atomemu: wrote %d events to %s\n", len(events), path)
+	return f.Close()
 }
 
 func names() []string {

@@ -12,6 +12,11 @@
 //	GET  /healthz     liveness + metrics (always 200 while the process is up)
 //	GET  /readyz      admission readiness (503 once draining starts)
 //	GET  /statz       metrics + per-scheme circuit-breaker states
+//	GET  /metrics     Prometheus text exposition (counters, breaker
+//	                  gauges, engine totals, per-scheme latency histograms)
+//
+// With -pprof ADDR the daemon also serves net/http/pprof on a separate
+// listener (keep it off the tenant-facing address).
 //
 // On SIGTERM or SIGINT the daemon stops admitting (503), finishes every
 // accepted job — cancelling stragglers after -drain-grace — and exits 0
@@ -27,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +61,7 @@ func run() error {
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "time to let jobs finish on SIGTERM before cancelling them")
 	allowFault := flag.Bool("allow-fault-inject", false, "accept fault-injection rules in job requests (soak/CI only)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off; use a loopback port, not -addr)")
 	flag.Parse()
 
 	s := server.New(server.Options{
@@ -69,7 +76,29 @@ func run() error {
 		BreakerCooldown:        *breakerCooldown,
 		DrainGrace:             *drainGrace,
 		AllowFaultInjection:    *allowFault,
+		Logger:                 log.Default(),
 	})
+
+	if *pprofAddr != "" {
+		// A dedicated mux, not http.DefaultServeMux: the profiling
+		// endpoints must never leak onto the tenant-facing listener.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("atomemud: pprof on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pm); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("atomemud: pprof server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 
 	"atomemu/internal/htm"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -166,6 +167,9 @@ type Context interface {
 	// RunningCPUs returns the number of vCPUs not yet halted, for
 	// contention-dependent cost charging.
 	RunningCPUs() int
+	// Tracer returns this vCPU's event ring, or nil when tracing is off.
+	// obs.Ring methods are nil-safe, so call sites emit unconditionally.
+	Tracer() *obs.Ring
 }
 
 // Scheme is one atomic-instruction emulation strategy.

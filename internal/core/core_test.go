@@ -7,6 +7,7 @@ import (
 
 	"atomemu/internal/htm"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -20,6 +21,7 @@ type fakeCtx struct {
 	st   stats.CPU
 	excl *sync.Mutex
 	tm   *htm.TM
+	ring *obs.Ring
 }
 
 func (c *fakeCtx) TID() uint32                            { return c.tid }
@@ -32,6 +34,7 @@ func (c *fakeCtx) Stats() *stats.CPU                      { return &c.st }
 func (c *fakeCtx) Charge(comp stats.Component, cy uint64) { c.st.Charge(comp, cy) }
 func (c *fakeCtx) TM() *htm.TM                            { return c.tm }
 func (c *fakeCtx) RunningCPUs() int                       { return len(c.excls()) }
+func (c *fakeCtx) Tracer() *obs.Ring                      { return c.ring }
 
 // excls is a small helper so the fake reports a plausible CPU count.
 func (c *fakeCtx) excls() []int { return []int{1} }

@@ -5,6 +5,7 @@ import (
 
 	"atomemu/internal/hashtab"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -56,6 +57,7 @@ func (s *hst) set(ctx Context, addr, tid uint32) {
 	if s.shadow != nil {
 		if prev := s.shadow[s.tab.Index(addr)].Swap(addr); prev != 0 && prev != addr {
 			ctx.Stats().HashConflicts++
+			ctx.Tracer().Emit(obs.EvHashConflict, addr, uint64(prev))
 		}
 	}
 	s.tab.Set(addr, tid)
@@ -79,12 +81,14 @@ func (s *hst) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	defer m.Reset()
 	if !m.Active || m.Addr != addr {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	ctx.StartExclusive()
 	defer ctx.EndExclusive()
 	ctx.Charge(stats.CompInstrument, s.cost.HashInline)
 	if !s.tab.CheckOwner(addr, ctx.TID()) {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCHashStolen)
 		return 1, nil
 	}
 	if f := ctx.Mem().StoreWord(addr, val); f != nil {
@@ -147,6 +151,7 @@ func (s *hstWeak) LL(ctx Context, addr uint32) (uint32, error) {
 			budget = hashtab.DefaultSpinBudget
 		}
 		ctx.Stats().WatchdogTrips++
+		ctx.Tracer().Emit(obs.EvWatchdogTrip, addr, uint64(budget))
 		return 0, &WatchdogError{
 			Scheme:    s.Name(),
 			TID:       ctx.TID(),
@@ -172,12 +177,14 @@ func (s *hstWeak) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	defer m.Reset()
 	if !m.Active || m.Addr != addr {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	tid := ctx.TID()
 	ctx.Charge(stats.CompInstrument, s.cost.HashInline+s.cost.HostAtomic)
 	if !s.tab.Lock(addr, tid) {
 		// Entry stolen by another thread's LL or SC since our LL.
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCLockStolen)
 		return 1, nil
 	}
 	f := ctx.Mem().StoreWord(addr, val)

@@ -6,6 +6,7 @@ import (
 	"atomemu/internal/hashtab"
 	"atomemu/internal/htm"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -115,6 +116,7 @@ func (s *hstHTM) scFallback(ctx Context, addr, val, tid uint32) (uint32, error) 
 	ctx.StartExclusive()
 	defer ctx.EndExclusive()
 	if !s.tab.CheckOwner(addr, tid) {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCHashStolen)
 		return 1, nil
 	}
 	if f := ctx.Mem().StoreWord(addr, val); f != nil {
@@ -127,6 +129,7 @@ func (s *hstHTM) scFallback(ctx Context, addr, val, tid uint32) (uint32, error) 
 // SC does next: retry (after backoff), or demote and take the fallback.
 func (s *hstHTM) scAbort(ctx Context, reason htm.AbortReason, attempt int) (retry bool) {
 	ctx.Stats().HTMAborts++
+	ctx.Tracer().Emit(obs.EvHTMAbort, 0, uint64(reason))
 	ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
 	if s.res.StrictPaper {
 		return true // the attempt counter provides the bound
@@ -142,6 +145,7 @@ func (s *hstHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	defer m.Reset()
 	if !m.Active || m.Addr != addr {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	tid := ctx.TID()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -40,6 +41,7 @@ func (s *picoCAS) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	defer m.Reset()
 	if !m.Active || m.Addr != addr {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	ctx.Charge(stats.CompNative, s.cost.HostAtomic)
@@ -50,6 +52,7 @@ func (s *picoCAS) SC(ctx Context, addr, val uint32) (uint32, error) {
 	if ok {
 		return 0, nil
 	}
+	ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCValueChanged)
 	return 1, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"atomemu/internal/htm"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -88,16 +89,17 @@ func (s *picoHTM) memStore(ctx Context) func(addr, val uint32) error {
 }
 
 // chargeAbort bumps the abort streak and accounts one abort.
-func (s *picoHTM) chargeAbort(ctx Context) {
+func (s *picoHTM) chargeAbort(ctx Context, reason htm.AbortReason) {
 	ctx.Monitor().AbortStreak++
 	ctx.Stats().HTMAborts++
+	ctx.Tracer().Emit(obs.EvHTMAbort, ctx.Monitor().Addr, uint64(reason))
 	ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
 }
 
 // noteAbort (StrictPaper mode) bumps the livelock counter; the returned
 // error is non-nil when the scheme declares livelock.
-func (s *picoHTM) noteAbort(ctx Context) error {
-	s.chargeAbort(ctx)
+func (s *picoHTM) noteAbort(ctx Context, reason htm.AbortReason) error {
+	s.chargeAbort(ctx, reason)
 	m := ctx.Monitor()
 	if m.AbortStreak > s.livelockLimit {
 		return &EmulationError{
@@ -180,13 +182,13 @@ func (s *picoHTM) LL(ctx Context, addr uint32) (uint32, error) {
 			var ab *htm.Abort
 			if errors.As(err, &ab) {
 				if s.res.StrictPaper {
-					if lerr := s.noteAbort(ctx); lerr != nil {
+					if lerr := s.noteAbort(ctx, ab.Reason); lerr != nil {
 						m.Reset()
 						return 0, lerr
 					}
 					continue
 				}
-				s.chargeAbort(ctx)
+				s.chargeAbort(ctx, ab.Reason)
 				if s.res.backoffRetry(ctx, ab.Reason, m.AbortStreak) {
 					continue
 				}
@@ -216,6 +218,7 @@ func (s *picoHTM) scDegraded(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	defer m.Reset()
 	if !m.Active || m.Addr != addr {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	ctx.StartExclusive()
@@ -225,6 +228,7 @@ func (s *picoHTM) scDegraded(ctx Context, addr, val uint32) (uint32, error) {
 		return 1, f
 	}
 	if s.tm.SlotWord(addr) != m.Res.DegradedWord || cur != m.Val {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCValueChanged)
 		return 1, nil
 	}
 	if f := ctx.Mem().StoreWord(addr, val); f != nil {
@@ -243,44 +247,48 @@ func (s *picoHTM) SC(ctx Context, addr, val uint32) (uint32, error) {
 	txn := m.Txn
 	defer m.Reset()
 	if !m.Active || m.Addr != addr || txn == nil {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	if txn.Done() {
 		// Doomed window: an abort happened between LL and SC (emulation
 		// work or a conflicting access). It counts toward livelock.
+		reason, _ := txn.AbortReason()
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCTxnDoomed)
 		if s.res.StrictPaper {
-			if lerr := s.noteAbort(ctx); lerr != nil {
+			if lerr := s.noteAbort(ctx, reason); lerr != nil {
 				return 1, lerr
 			}
 			return 1, nil
 		}
-		s.chargeAbort(ctx)
-		reason, _ := txn.AbortReason()
+		s.chargeAbort(ctx, reason)
 		s.scFailed(ctx, reason)
 		return 1, nil
 	}
 	if err := txn.Write(addr, val); err != nil {
+		reason, _ := txn.AbortReason()
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCTxnDoomed)
 		if s.res.StrictPaper {
-			if lerr := s.noteAbort(ctx); lerr != nil {
+			if lerr := s.noteAbort(ctx, reason); lerr != nil {
 				return 1, lerr
 			}
 			return 1, nil
 		}
-		s.chargeAbort(ctx)
-		reason, _ := txn.AbortReason()
+		s.chargeAbort(ctx, reason)
 		s.scFailed(ctx, reason)
 		return 1, nil
 	}
 	if err := txn.Commit(s.memStore(ctx)); err != nil {
 		var ab *htm.Abort
 		if errors.As(err, &ab) {
+			ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCTxnDoomed)
 			if s.res.StrictPaper {
-				if lerr := s.noteAbort(ctx); lerr != nil {
+				if lerr := s.noteAbort(ctx, ab.Reason); lerr != nil {
 					return 1, lerr
 				}
 				return 1, nil
 			}
-			s.chargeAbort(ctx)
+			s.chargeAbort(ctx, ab.Reason)
 			s.scFailed(ctx, ab.Reason)
 			return 1, nil
 		}
@@ -312,6 +320,7 @@ func (s *picoHTM) Load(ctx Context, addr uint32) (uint32, error) {
 			return 0, err
 		}
 		ctx.Stats().HTMAborts++
+		ctx.Tracer().Emit(obs.EvHTMAbort, addr, uint64(ab.Reason))
 		ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
 		// Doomed: fall through to a direct read; SC will fail.
 	}
@@ -336,6 +345,7 @@ func (s *picoHTM) LoadB(ctx Context, addr uint32) (uint8, error) {
 			return 0, err
 		}
 		ctx.Stats().HTMAborts++
+		ctx.Tracer().Emit(obs.EvHTMAbort, addr, uint64(ab.Reason))
 		ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
 	}
 	v, f := ctx.Mem().LoadByte(addr)
@@ -356,6 +366,7 @@ func (s *picoHTM) Store(ctx Context, addr, val uint32) error {
 				return err
 			}
 			ctx.Stats().HTMAborts++
+			ctx.Tracer().Emit(obs.EvHTMAbort, addr, uint64(ab.Reason))
 			ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
 			// Doomed: apply directly below.
 		}
@@ -391,11 +402,18 @@ func (s *picoHTM) StoreB(ctx Context, addr uint32, val uint8) error {
 		if err == nil {
 			shift := 8 * (addr & 3)
 			nw := w&^(0xff<<shift) | uint32(val)<<shift
-			if err := m.Txn.Write(addr&^3, nw); err == nil {
+			err = m.Txn.Write(addr&^3, nw)
+			if err == nil {
 				return nil
 			}
 		}
+		reason := htm.ReasonConflict
+		var ab *htm.Abort
+		if errors.As(err, &ab) {
+			reason = ab.Reason
+		}
 		ctx.Stats().HTMAborts++
+		ctx.Tracer().Emit(obs.EvHTMAbort, addr, uint64(reason))
 		ctx.Charge(stats.CompHTM, s.cost.HTMAbort)
 	}
 	if f := ctx.Mem().StoreByte(addr, val); f != nil {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -119,6 +120,7 @@ func (s *picoST) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := s.byTID[tid]
 	if m == nil || !m.valid || m.addr != addr || !mon.Active || mon.Addr != addr {
 		s.dropLocked(tid)
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCMonitorBroken)
 		return 1, nil
 	}
 	// The SC's own update is a store: it must break other threads' monitors

@@ -3,6 +3,7 @@ package core
 import (
 	"atomemu/internal/mmu"
 	"atomemu/internal/mpk"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -158,12 +159,14 @@ func (s *pstMPK) release2(ctx Context) {
 func (s *pstMPK) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	if !m.Active {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	base := mmu.PageBase(m.Addr)
 	p := s.lookup(base)
 	if p == nil {
 		m.Reset()
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCPageGone)
 		return 1, nil
 	}
 	p.pmu.Lock()
@@ -191,6 +194,7 @@ func (s *pstMPK) SC(ctx Context, addr, val uint32) (uint32, error) {
 	if ok {
 		return 0, nil
 	}
+	ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCMonitorBroken)
 	return 1, nil
 }
 

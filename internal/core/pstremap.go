@@ -2,6 +2,7 @@ package core
 
 import (
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -37,12 +38,14 @@ func (s *pstRemap) aliasFor(tid uint32) uint32 {
 func (s *pstRemap) SC(ctx Context, addr, val uint32) (uint32, error) {
 	m := ctx.Monitor()
 	if !m.Active {
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCNoMonitor)
 		return 1, nil
 	}
 	base := mmu.PageBase(m.Addr)
 	p := s.lookup(base)
 	if p == nil {
 		m.Reset()
+		ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCPageGone)
 		return 1, nil
 	}
 	p.pmu.Lock()
@@ -97,6 +100,7 @@ func (s *pstRemap) SC(ctx Context, addr, val uint32) (uint32, error) {
 	if ok {
 		return 0, nil
 	}
+	ctx.Tracer().Emit(obs.EvSCFail, addr, obs.SCMonitorBroken)
 	return 1, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"atomemu/internal/htm"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -128,6 +129,7 @@ func (r *Resilience) backoffRetry(ctx Context, reason htm.AbortReason, attempt i
 	st := ctx.Stats()
 	st.HTMRetries++
 	st.HTMBackoffWaits++
+	ctx.Tracer().Emit(obs.EvHTMBackoff, m.Addr, wait)
 	ctx.Charge(stats.CompHTM, wait)
 	// Yield the host thread too: the competing transaction is a real
 	// goroutine that needs host cycles to finish and release its locks.
@@ -141,6 +143,7 @@ func (r *Resilience) demote(ctx Context) {
 	m := ctx.Monitor()
 	m.Res.CooldownLeft = r.Cooldown
 	ctx.Stats().SchemeFallbacks++
+	ctx.Tracer().Emit(obs.EvSchemeFall, m.Addr, uint64(m.AbortStreak))
 }
 
 // inCooldown reports whether the monitor should keep using the fallback

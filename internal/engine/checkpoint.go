@@ -6,6 +6,7 @@ import (
 	"atomemu/internal/checkpoint"
 	"atomemu/internal/core"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -101,6 +102,7 @@ func (m *Machine) capture(c *CPU) {
 	m.lastCkpt = snap
 	m.checkpoints.Add(1)
 	m.ckptPages.Add(uint64(snap.Mem.Copied))
+	c.ring.Emit(obs.EvCheckpoint, 0, uint64(snap.Mem.Copied))
 	c.st.Charge(stats.CompCheckpoint,
 		m.cfg.Cost.CheckpointBase+uint64(snap.Mem.Copied)*m.cfg.Cost.CheckpointPage)
 }
@@ -226,6 +228,7 @@ func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
 	m.stopChClosed = false
 	m.errMu.Unlock()
 	m.stopped.Store(false)
+	m.hostRing.EmitAt(snap.VirtualTime, obs.EvRestore, 0, m.recoveryRestores.Load())
 
 	for _, c := range kept {
 		if c.haltedFlag.Load() {

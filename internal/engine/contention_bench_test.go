@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"atomemu/internal/asm"
+	"atomemu/internal/obs"
 )
 
 // The contention benchmarks measure the two host-side hot paths the paper's
@@ -96,7 +97,7 @@ func BenchmarkChargeExclusiveEntry(b *testing.B) {
 // benchGuestSC runs the LL/SC atomic-counter guest end to end: b.N total
 // SC-success increments split across the vCPUs. This exercises the whole SC
 // hot path — exclusive protocol, accounting, TB dispatch.
-func benchGuestSC(b *testing.B, scheme string, threads int) {
+func benchGuestSC(b *testing.B, scheme string, threads int, traced bool) {
 	im, err := asm.Assemble(`
 .org 0x10000
 .entry worker
@@ -118,7 +119,9 @@ counter: .word 0
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := NewMachine(DefaultConfig(scheme))
+	cfg := DefaultConfig(scheme)
+	cfg.TraceEvents = traced
+	m, err := NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -141,8 +144,51 @@ func BenchmarkGuestSC(b *testing.B) {
 	for _, scheme := range []string{"hst", "pico-st"} {
 		for _, threads := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/vcpus-%d", scheme, threads), func(b *testing.B) {
-				benchGuestSC(b, scheme, threads)
+				benchGuestSC(b, scheme, threads, false)
 			})
 		}
+	}
+}
+
+// BenchmarkGuestSCTraced is the A/B companion: the same guest with the
+// event tracer on, for eyeballing the enabled-path cost against
+// BenchmarkGuestSC.
+func BenchmarkGuestSCTraced(b *testing.B) {
+	for _, threads := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("hst/vcpus-%d", threads), func(b *testing.B) {
+			benchGuestSC(b, "hst", threads, true)
+		})
+	}
+}
+
+// guardRing defeats constant folding of the nil check in the guard below:
+// the compiler cannot prove a package-level var stays nil.
+var guardRing *obs.Ring
+
+// TestTracerDisabledOverheadGuard is the CI perf guard for the tracer's
+// disabled path. Rather than an A/B wall-clock comparison of full guest
+// runs (noisy under parallel CI), it measures the disabled emit site
+// itself — one nil check on a *Ring — and fails if it costs more than
+// tracerDisabledMaxNs per call, far below the ~100ns an SC already pays.
+// A regression here means Emit stopped being nil-check-cheap (e.g. someone
+// hoisted work before the nil test), which is exactly the bug this guards.
+func TestTracerDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf guard skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("perf guard skipped under -race: instrumentation dominates the nil check")
+	}
+	const tracerDisabledMaxNs = 20.0
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			guardRing.Emit(obs.EvSCOk, uint32(i), 0)
+		}
+	})
+	perOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	t.Logf("disabled-tracer emit: %.2f ns/op over %d iterations", perOp, res.N)
+	if perOp > tracerDisabledMaxNs {
+		t.Fatalf("disabled-tracer emit costs %.2f ns/op, budget %v ns — the nil-check fast path regressed",
+			perOp, tracerDisabledMaxNs)
 	}
 }

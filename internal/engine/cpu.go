@@ -11,6 +11,7 @@ import (
 	"atomemu/internal/htm"
 	"atomemu/internal/ir"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -28,6 +29,10 @@ type CPU struct {
 
 	mon core.Monitor
 	st  stats.CPU
+
+	// ring is this vCPU's event-trace ring; nil (one dead nil check per
+	// emit site) unless Config.TraceEvents.
+	ring *obs.Ring
 
 	// clock is this vCPU's virtual time; read by other vCPUs during
 	// exclusive sections and sync reconciliation.
@@ -80,13 +85,15 @@ type CPU struct {
 }
 
 func newCPU(m *Machine, tid uint32) *CPU {
-	return &CPU{
+	c := &CPU{
 		m:        m,
 		tid:      tid,
 		slots:    make([]uint32, 64),
 		localTBs: make(map[uint32]*TB),
 		yieldRng: tid*2654435761 + 1,
 	}
+	c.ring = m.newTraceRing(tid, &c.clock)
+	return c
 }
 
 // --- core.Context ---
@@ -101,10 +108,16 @@ func (c *CPU) Mem() *mmu.Memory { return c.m.mem }
 func (c *CPU) Monitor() *core.Monitor { return &c.mon }
 
 // StartExclusive stops the world (QEMU start_exclusive).
-func (c *CPU) StartExclusive() { c.m.excl.startExclusive(c) }
+func (c *CPU) StartExclusive() {
+	c.m.excl.startExclusive(c)
+	c.ring.Emit(obs.EvExclEnter, 0, 0)
+}
 
 // EndExclusive resumes the world.
-func (c *CPU) EndExclusive() { c.m.excl.endExclusive(c) }
+func (c *CPU) EndExclusive() {
+	c.ring.Emit(obs.EvExclExit, 0, 0)
+	c.m.excl.endExclusive(c)
+}
 
 // ChargeExclusive accounts a stop-the-world's cost without stopping
 // (PST-family schemes serialize with page locks instead).
@@ -179,6 +192,10 @@ func (c *CPU) fail(err error) {
 // RunningCPUs implements core.Context.
 func (c *CPU) RunningCPUs() int { return int(c.m.runningCPUs.Load()) }
 
+// Tracer implements core.Context: the vCPU's event ring, nil when tracing
+// is off (obs.Ring methods are nil-safe).
+func (c *CPU) Tracer() *obs.Ring { return c.ring }
+
 // finish marks the vCPU stopped and releases joiners. Halting, settling the
 // join park counts (closing done is the wake this vCPU owes its joiners)
 // and re-checking for deadlock happen under one parkMu hold, so the
@@ -233,6 +250,7 @@ func (c *CPU) watchdogCheck() {
 		return
 	}
 	c.st.WatchdogTrips++
+	c.ring.Emit(obs.EvWatchdogTrip, c.lastSCAddr, c.wdStalled)
 	werr := &core.WatchdogError{
 		Scheme:      c.m.scheme.Name(),
 		TID:         c.tid,
@@ -415,6 +433,7 @@ func (c *CPU) stepOnce() {
 				if uint64(r>>16) < p {
 					txn.AbortNow(htm.ReasonEmulation)
 					c.st.HTMAborts++
+					c.ring.Emit(obs.EvHTMAbort, c.pc, uint64(htm.ReasonEmulation))
 					c.charge(stats.CompHTM, c.m.cfg.Cost.HTMAbort)
 				}
 			}
@@ -650,13 +669,15 @@ func (c *CPU) execBlock(b *ir.Block) {
 
 		case ir.LL:
 			c.maybePreempt()
-			v, err := scheme.LL(c, s[in.A])
+			addr := s[in.A] // capture before s[in.D] clobbers a shared slot
+			v, err := scheme.LL(c, addr)
 			if err != nil {
 				c.schemeFault(err, in)
 				return
 			}
 			s[in.D] = v
 			c.st.LLs++
+			c.ring.Emit(obs.EvLL, addr, 0)
 			native += cost.MemAccess
 		case ir.SC:
 			c.maybePreempt()
@@ -665,6 +686,10 @@ func (c *CPU) execBlock(b *ir.Block) {
 			if err != nil {
 				c.schemeFault(err, in)
 				return
+			}
+			if status == 0 {
+				// Failures are emitted by the scheme with a reason code.
+				c.ring.Emit(obs.EvSCOk, c.lastSCAddr, 0)
 			}
 			s[in.D] = status
 			c.st.SCs++
@@ -703,6 +728,8 @@ func (c *CPU) execBlock(b *ir.Block) {
 			}
 			c.st.LLs++
 			c.st.SCs++
+			c.ring.Emit(obs.EvLL, addr, 0)
+			c.ring.Emit(obs.EvSCOk, addr, 0)
 			native += cost.HostAtomic
 		case ir.Clrex:
 			scheme.Clrex(c)

@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,7 @@ import (
 	"atomemu/internal/htm"
 	"atomemu/internal/ir"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 	"atomemu/internal/translate"
 )
@@ -92,6 +94,15 @@ type Config struct {
 	// TraceWriter, when set, logs every executed guest instruction
 	// (tid, pc, disassembly). Forces one-instruction blocks; debugging only.
 	TraceWriter io.Writer
+	// TraceEvents enables the per-vCPU atomic-event tracer (internal/obs):
+	// LL/SC outcomes, exclusive sections, HTM aborts, watchdog trips,
+	// checkpoint/restore. Off (the default) costs one nil check per
+	// would-be event.
+	TraceEvents bool
+	// TraceRingBits sizes each vCPU's event ring at 2^bits events
+	// (32 bytes each). 0 selects the default (12: 4096 events, 128 KiB
+	// per vCPU). Older events are overwritten once a ring wraps.
+	TraceRingBits uint
 	// ProfileCollisions enables the HST collision census (Table I support).
 	ProfileCollisions bool
 
@@ -234,6 +245,15 @@ type Machine struct {
 	ckptPages        atomic.Uint64
 	recoveryAttempts atomic.Uint64
 	recoveryRestores atomic.Uint64
+
+	// Event-tracer state (nil/empty unless cfg.TraceEvents). rings holds
+	// every per-vCPU ring ever created — restore() drops rolled-back vCPUs
+	// from cpus, but their trace of what actually happened must survive.
+	// hostRing records machine-level events (restores) with explicit
+	// timestamps.
+	ringMu   sync.Mutex
+	rings    []*obs.Ring
+	hostRing *obs.Ring
 }
 
 // TB is a cached translation block.
@@ -320,6 +340,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	m.mem.SetInjector(cfg.FaultInjector)
 	m.nextCkptVT.Store(cfg.CheckpointEvery)
+	if cfg.TraceEvents {
+		m.hostRing = obs.NewRing(0, m.traceRingBits(), nil)
+	}
 
 	res := m.cfg.resilience()
 	deps := core.Deps{Cost: &m.cfg.Cost, Res: &res}
@@ -582,6 +605,69 @@ func (m *Machine) AggregateStats() stats.CPU {
 	return agg
 }
 
+// traceRingBits returns the configured per-ring size exponent.
+func (m *Machine) traceRingBits() uint {
+	if m.cfg.TraceRingBits != 0 {
+		return m.cfg.TraceRingBits
+	}
+	return 12
+}
+
+// newTraceRing creates and registers a vCPU's event ring (nil when tracing
+// is off). Rings are registered machine-wide rather than discovered via
+// m.cpus because restore() drops rolled-back vCPUs from cpus — the trace
+// must still describe what those vCPUs actually did.
+func (m *Machine) newTraceRing(tid uint32, clock *atomic.Uint64) *obs.Ring {
+	if !m.cfg.TraceEvents {
+		return nil
+	}
+	r := obs.NewRing(tid, m.traceRingBits(), clock)
+	m.ringMu.Lock()
+	m.rings = append(m.rings, r)
+	m.ringMu.Unlock()
+	return r
+}
+
+// TraceEvents returns every traced event, merged across vCPUs and sorted
+// by virtual timestamp (ties by tid). Outside StepMode it quiesces the
+// machine with the same host-side stop AggregateStats uses, so it is safe
+// while vCPUs run. Returns nil when tracing is disabled.
+func (m *Machine) TraceEvents() []obs.Event {
+	if !m.cfg.TraceEvents {
+		return nil
+	}
+	if !m.cfg.StepMode {
+		m.excl.hostStop()
+		defer m.excl.hostResume()
+	}
+	m.ringMu.Lock()
+	rings := append([]*obs.Ring{m.hostRing}, m.rings...)
+	m.ringMu.Unlock()
+	var out []obs.Event
+	for _, r := range rings {
+		out = append(out, r.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].VT != out[j].VT {
+			return out[i].VT < out[j].VT
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// TraceDropped reports how many events were lost to ring wrap, summed
+// across all rings.
+func (m *Machine) TraceDropped() uint64 {
+	m.ringMu.Lock()
+	defer m.ringMu.Unlock()
+	n := m.hostRing.Dropped()
+	for _, r := range m.rings {
+		n += r.Dropped()
+	}
+	return n
+}
+
 // chargeExclusiveEntry charges the requester for a stop-the-world section
 // (base + per-running-vCPU park cost) and publishes the section so every
 // other vCPU pays its witness stall.
@@ -620,6 +706,7 @@ func (m *Machine) tbFor(c *CPU, pc uint32) (*TB, error) {
 		if c.mon.Txn != nil && !c.mon.Txn.Done() {
 			c.mon.Txn.AbortNow(htm.ReasonEmulation)
 			c.st.HTMAborts++
+			c.ring.Emit(obs.EvHTMAbort, pc, uint64(htm.ReasonEmulation))
 			c.charge(stats.CompHTM, m.cfg.Cost.HTMAbort)
 		}
 		fetch := func(addr uint32) (uint32, error) {

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build;
+// perf guards skip under it (instrumentation inflates every memory op).
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"atomemu/internal/arch"
 	"atomemu/internal/htm"
 	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
 	"atomemu/internal/stats"
 )
 
@@ -53,6 +54,7 @@ func (m *Machine) syscall(c *CPU, num uint32) {
 	if c.mon.Txn != nil && !c.mon.Txn.Done() {
 		c.mon.Txn.AbortNow(htm.ReasonSyscall)
 		c.st.HTMAborts++
+		c.ring.Emit(obs.EvHTMAbort, c.pc, uint64(htm.ReasonSyscall))
 		c.charge(stats.CompHTM, m.cfg.Cost.HTMAbort)
 	}
 	r := c.slots[:4]

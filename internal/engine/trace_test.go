@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"testing"
+
+	"atomemu/internal/asm"
+	"atomemu/internal/obs"
+)
+
+// traceGuest is the contended LL/SC counter: every thread increments the
+// shared word r0 times, retrying failed SCs.
+const traceGuest = `
+.org 0x10000
+.entry worker
+worker:
+    ldr r4, =counter
+loop:
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    cmpi r2, #0
+    bne loop
+    subsi r0, r0, #1
+    bne loop
+    movi r0, #0
+    svc #1
+.align 1024
+counter: .word 0
+`
+
+// TestTraceEventsContendedHST is the acceptance run: 8 vCPUs hammer one
+// counter under HST with tracing on; the merged stream must be non-empty,
+// sorted by virtual time, and per-vCPU monotonic, and must contain the
+// kinds the run necessarily produced.
+func TestTraceEventsContendedHST(t *testing.T) {
+	im, err := asm.Assemble(traceGuest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig("hst")
+	cfg.TraceEvents = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(im); err != nil {
+		t.Fatal(err)
+	}
+	const threads, iters = 8, 300
+	for i := 0; i < threads; i++ {
+		if _, err := m.SpawnThread(im.Entry, iters); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := m.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("traced run produced no events")
+	}
+	kinds := map[obs.Kind]int{}
+	perTID := map[uint32]uint64{}
+	for i, e := range events {
+		kinds[e.Kind]++
+		if i > 0 && e.VT < events[i-1].VT {
+			t.Fatalf("merged stream out of order at %d: vt %d after %d", i, e.VT, events[i-1].VT)
+		}
+		if last, ok := perTID[e.TID]; ok && e.VT < last {
+			t.Fatalf("tid %d stream went backwards: vt %d after %d", e.TID, e.VT, last)
+		}
+		perTID[e.TID] = e.VT
+	}
+	agg := m.AggregateStats()
+	if kinds[obs.EvSCOk] == 0 || kinds[obs.EvLL] == 0 {
+		t.Fatalf("missing LL/SC events: %v", kinds)
+	}
+	// Every HST SC success enters an exclusive section.
+	if kinds[obs.EvExclEnter] == 0 || kinds[obs.EvExclExit] == 0 {
+		t.Fatalf("missing exclusive-section events: %v", kinds)
+	}
+	// 8 threads on one word must fail some SCs, each with a reason.
+	if agg.SCFails > 0 && kinds[obs.EvSCFail] == 0 && m.TraceDropped() == 0 {
+		t.Fatalf("%d SC failures but no sc_fail events and nothing dropped", agg.SCFails)
+	}
+	for _, e := range events {
+		if e.Kind == obs.EvSCFail && obs.SCReasonString(e.Arg) == "unknown" {
+			t.Fatalf("sc_fail with unnamed reason %d", e.Arg)
+		}
+	}
+}
+
+// TestTraceDisabledNoRings checks the disabled path: no rings, no events,
+// nil tracer on every vCPU.
+func TestTraceDisabledNoRings(t *testing.T) {
+	im, err := asm.Assemble(traceGuest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(DefaultConfig("hst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnThread(im.Entry, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TraceEvents(); got != nil {
+		t.Fatalf("disabled tracer returned %d events", len(got))
+	}
+	for _, c := range m.CPUs() {
+		if c.Tracer() != nil {
+			t.Fatal("vCPU has a ring with tracing disabled")
+		}
+	}
+}

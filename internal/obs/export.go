@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes events one-JSON-object-per-line, the format behind
+// `atomemu -trace out.jsonl`. Events should already be in the order the
+// caller wants (engine.Machine.TraceEvents returns them VT-sorted).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, `{"vt":%d,"tid":%d,"kind":%q,"addr":%d,"arg":%d`,
+			e.VT, e.TID, e.Kind.String(), e.Addr, e.Arg); err != nil {
+			return err
+		}
+		if e.Kind == EvSCFail {
+			if _, err := fmt.Fprintf(bw, `,"reason":%q`, SCReasonString(e.Arg)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("}\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders events as a Chrome trace-event JSON array
+// (load in chrome://tracing or Perfetto). Exclusive sections become
+// duration ("B"/"E") slices; everything else is an instant ("i") event.
+// Virtual cycles are mapped 1:1 onto trace microseconds.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, a ...any) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(bw, format, a...)
+		return err
+	}
+	for _, e := range events {
+		var err error
+		switch e.Kind {
+		case EvExclEnter:
+			err = emit(`{"name":"exclusive","ph":"B","ts":%d,"pid":1,"tid":%d}`, e.VT, e.TID)
+		case EvExclExit:
+			err = emit(`{"name":"exclusive","ph":"E","ts":%d,"pid":1,"tid":%d}`, e.VT, e.TID)
+		case EvSCFail:
+			err = emit(`{"name":"sc_fail","ph":"i","s":"t","ts":%d,"pid":1,"tid":%d,"args":{"addr":%d,"reason":%q}}`,
+				e.VT, e.TID, e.Addr, SCReasonString(e.Arg))
+		default:
+			err = emit(`{"name":%q,"ph":"i","s":"t","ts":%d,"pid":1,"tid":%d,"args":{"addr":%d,"arg":%d}}`,
+				e.Kind.String(), e.VT, e.TID, e.Addr, e.Arg)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

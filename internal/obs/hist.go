@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, lock-free latency histogram matching the
+// Prometheus data model: cumulative _bucket counts per upper bound, a
+// _sum of observations, and a _count. Observe is safe for concurrent
+// use; Snapshot is consistent enough for scrapes (counts are monotonic,
+// sum may trail by in-flight observations).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram makes a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := len(h.bounds)
+	for j, b := range h.bounds {
+		if v <= b {
+			i = j
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time view of a Histogram, with Prometheus
+// cumulative bucket semantics already applied.
+type HistSnapshot struct {
+	Bounds  []float64 // upper bounds, ascending (no +Inf entry)
+	Buckets []uint64  // cumulative counts, len(Bounds)+1; last is the +Inf bucket
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot returns cumulative bucket counts suitable for exposition.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = cum
+	}
+	return s
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -38,6 +39,8 @@ import (
 	"time"
 
 	"atomemu/internal/engine"
+	"atomemu/internal/obs"
+	"atomemu/internal/stats"
 )
 
 // Options is the server policy. Zero values take the defaults below.
@@ -72,6 +75,9 @@ type Options struct {
 	// AllowFaultInjection accepts jobs carrying fault-injection rules —
 	// for soak and CI harnesses, never production tenants.
 	AllowFaultInjection bool
+	// Logger receives server-side diagnostics (failed response encodes).
+	// Defaults to log.Default().
+	Logger *log.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +113,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainGrace <= 0 {
 		o.DrainGrace = 10 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
 	}
 	return o
 }
@@ -150,6 +159,15 @@ type Server struct {
 
 	accepted, shed, completed, failed, canceled atomic.Uint64
 	recovered, demoted, panics                  atomic.Uint64
+
+	// Engine observability, fed by finish: counters from every finished
+	// machine accumulate into engineAgg, and per-scheme latency histograms
+	// record each job's wall and virtual duration. aggMu guards all three
+	// (histogram observation itself is lock-free; the maps are not).
+	aggMu     sync.Mutex
+	engineAgg stats.CPU
+	wallHist  map[string]*obs.Histogram
+	virtHist  map[string]*obs.Histogram
 }
 
 // New builds the server and starts its worker pool.
@@ -161,6 +179,8 @@ func New(opts Options) *Server {
 		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
 		drainCh:  make(chan struct{}),
 		jobs:     make(map[string]*job),
+		wallHist: make(map[string]*obs.Histogram),
+		virtHist: make(map[string]*obs.Histogram),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
@@ -420,6 +440,8 @@ func (s *Server) finish(j *job, class engine.StopClass, err error, m *engine.Mac
 		if agg.RecoveryRestores > 0 && err == nil {
 			s.recovered.Add(1)
 		}
+		s.observeJob(j.status.SchemeEffective, &agg,
+			j.status.FinishedAt.Sub(j.status.StartedAt), j.status.VirtualTime)
 	}
 	j.machine = nil
 	j.cancel = nil
@@ -435,6 +457,9 @@ func (s *Server) finish(j *job, class engine.StopClass, err error, m *engine.Mac
 //	GET  /healthz     liveness + metrics (200 while the process serves)
 //	GET  /readyz      admission readiness   → 200 | 503 draining
 //	GET  /statz       metrics + breaker states
+//	GET  /metrics     Prometheus text exposition
+//
+// Read-only endpoints return 405 for any method but GET.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -442,7 +467,7 @@ func (s *Server) Handler() http.Handler {
 		case http.MethodPost:
 			var req JobRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+				s.httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
 				return
 			}
 			id, err := s.Submit(req)
@@ -451,57 +476,72 @@ func (s *Server) Handler() http.Handler {
 				if !ok {
 					se = &SubmitError{Status: http.StatusInternalServerError, Msg: err.Error()}
 				}
-				httpError(w, se.Status, se.Msg)
+				s.httpError(w, se.Status, se.Msg)
 				return
 			}
-			writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+			s.writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, s.Jobs())
+			s.writeJSON(w, http.StatusOK, s.Jobs())
 		default:
-			httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+			s.httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		}
 	})
-	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "use GET")
-			return
-		}
+	mux.HandleFunc("/jobs/", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
 		st, ok := s.Status(id)
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such job "+id)
+			s.httpError(w, http.StatusNotFound, "no such job "+id)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, http.StatusOK, st)
+	}))
+	mux.HandleFunc("/healthz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ok", "draining": s.Draining(), "metrics": s.Metrics(),
 		})
-	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/readyz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
-			httpError(w, http.StatusServiceUnavailable, "draining")
+			s.httpError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ready", "queued": len(s.queue), "queue_depth": s.opts.QueueDepth,
 		})
-	})
-	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+	}))
+	mux.HandleFunc("/statz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"metrics": s.Metrics(), "breakers": s.Breakers(),
 		})
-	})
+	}))
+	mux.HandleFunc("/metrics", s.getOnly(s.handleMetrics))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+// getOnly rejects every method but GET with 405 (read-only endpoints used
+// to accept POST/PUT/DELETE silently).
+func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			s.httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h(w, r)
+	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// writeJSON encodes v to the response. Encode errors (a closed connection,
+// or an unencodable value — a server bug) used to be swallowed; they are
+// logged so neither failure mode is silent.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.opts.Logger.Printf("server: encoding %d response: %v", code, err)
+	}
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, map[string]string{"error": msg})
 }

@@ -7,7 +7,11 @@
 // monotonic counter reads — all fields are plain uint64 counters).
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
 
 // Component classifies where virtual time is spent, matching the stacked
 // bars of the paper's Figure 12.
@@ -96,35 +100,75 @@ func (c *CPU) TotalCycles() uint64 {
 	return t
 }
 
-// Add accumulates other into c (for machine-wide aggregation).
+// Add accumulates other into c (for machine-wide aggregation). It walks
+// the struct by reflection so a newly added counter can never be left
+// out of the aggregate — hand-copying fields here silently dropped new
+// counters from AggregateStats once the list drifted. Add only runs at
+// quiescence (a handful of times per run), so reflection cost is moot.
 func (c *CPU) Add(other *CPU) {
-	c.GuestInstrs += other.GuestInstrs
-	c.IROps += other.IROps
-	c.Loads += other.Loads
-	c.Stores += other.Stores
-	c.LLs += other.LLs
-	c.SCs += other.SCs
-	c.SCFails += other.SCFails
-	c.HashConflicts += other.HashConflicts
-	c.PageFaults += other.PageFaults
-	c.FalseSharing += other.FalseSharing
-	c.HTMCommits += other.HTMCommits
-	c.HTMAborts += other.HTMAborts
-	c.ExclSections += other.ExclSections
-	c.HTMRetries += other.HTMRetries
-	c.HTMBackoffWaits += other.HTMBackoffWaits
-	c.SchemeFallbacks += other.SchemeFallbacks
-	c.WatchdogTrips += other.WatchdogTrips
-	c.Checkpoints += other.Checkpoints
-	c.CheckpointPages += other.CheckpointPages
-	c.RecoveryAttempts += other.RecoveryAttempts
-	c.RecoveryRestores += other.RecoveryRestores
-	c.TBSharedLookups += other.TBSharedLookups
-	c.TBTranslations += other.TBTranslations
-	c.TBRaceDiscards += other.TBRaceDiscards
-	for i := range c.Cycles {
-		c.Cycles[i] += other.Cycles[i]
+	dst := reflect.ValueOf(c).Elem()
+	src := reflect.ValueOf(other).Elem()
+	for i := 0; i < dst.NumField(); i++ {
+		df, sf := dst.Field(i), src.Field(i)
+		switch df.Kind() {
+		case reflect.Uint64:
+			df.SetUint(df.Uint() + sf.Uint())
+		case reflect.Array:
+			for j := 0; j < df.Len(); j++ {
+				df.Index(j).SetUint(df.Index(j).Uint() + sf.Index(j).Uint())
+			}
+		default:
+			panic(fmt.Sprintf("stats.CPU.Add: field %s has unsupported kind %s",
+				dst.Type().Field(i).Name, df.Kind()))
+		}
 	}
+}
+
+// Field is one named counter from a CPU, as exported by Fields.
+type Field struct {
+	Name  string // snake_case field name, e.g. "sc_fails"
+	Value uint64
+}
+
+// Fields returns every scalar counter of c with a snake_case name, in
+// declaration order. The Cycles array is excluded — callers export it
+// per component via Component.String. Like Add, this is reflection-
+// driven so new counters automatically show up in /metrics.
+func (c *CPU) Fields() []Field {
+	v := reflect.ValueOf(c).Elem()
+	t := v.Type()
+	out := make([]Field, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Uint64 {
+			continue
+		}
+		out = append(out, Field{Name: snakeCase(t.Field(i).Name), Value: v.Field(i).Uint()})
+	}
+	return out
+}
+
+// snakeCase converts a Go field name (GuestInstrs, HTMAborts, LLs,
+// TBRaceDiscards) to snake_case (guest_instrs, htm_aborts, lls,
+// tb_race_discards). Runs of capitals stay together until the last one
+// starts a new word; a bare trailing plural "s" (LLs, SCs) sticks to
+// its acronym instead of starting one.
+func snakeCase(s string) string {
+	var b strings.Builder
+	rs := []rune(s)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			prevUpper := i > 0 && rs[i-1] >= 'A' && rs[i-1] <= 'Z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			pluralTail := i+2 == len(rs) && rs[i+1] == 's'
+			if i > 0 && (!prevUpper || (nextLower && !pluralTail)) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // StoreToLLSCRatio returns how many regular stores execute per LL/SC pair —

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -30,6 +31,99 @@ func TestAddAccumulatesEverything(t *testing.T) {
 	}
 	if a.Cycles[CompMProtect] != 28 {
 		t.Fatalf("Add missed cycles: %v", a.Cycles)
+	}
+}
+
+// fillSentinels sets every scalar slot of c (fields and Cycles entries)
+// to a distinct non-zero value and returns how many slots were filled.
+func fillSentinels(t *testing.T, c *CPU) int {
+	t.Helper()
+	v := reflect.ValueOf(c).Elem()
+	next := uint64(1)
+	slots := 0
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(next)
+			next++
+			slots++
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(next)
+				next++
+				slots++
+			}
+		default:
+			t.Fatalf("CPU field %s has kind %s; extend fillSentinels and stats.Add",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return slots
+}
+
+// TestAddExhaustive is the drift guard: it fills a CPU with distinct
+// sentinels and requires Add to exactly double every slot. A counter
+// added to the struct but dropped from accumulation fails here — which
+// is how the hand-written 24-field Add this replaced could silently
+// lose new counters.
+func TestAddExhaustive(t *testing.T) {
+	var a CPU
+	slots := fillSentinels(t, &a)
+	if slots < 24+int(NumComponents) {
+		t.Fatalf("only %d slots filled; reflection walk missed fields", slots)
+	}
+	b := a
+	a.Add(&b)
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		name := av.Type().Field(i).Name
+		switch f := av.Field(i); f.Kind() {
+		case reflect.Uint64:
+			if f.Uint() != 2*bv.Field(i).Uint() {
+				t.Errorf("Add dropped field %s: got %d, want %d", name, f.Uint(), 2*bv.Field(i).Uint())
+			}
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				if f.Index(j).Uint() != 2*bv.Field(i).Index(j).Uint() {
+					t.Errorf("Add dropped %s[%d]", name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFields(t *testing.T) {
+	var c CPU
+	c.SCFails = 7
+	c.HTMAborts = 9
+	c.LLs = 3
+	got := map[string]uint64{}
+	for _, f := range c.Fields() {
+		if _, dup := got[f.Name]; dup {
+			t.Fatalf("duplicate field name %q", f.Name)
+		}
+		got[f.Name] = f.Value
+	}
+	for name, want := range map[string]uint64{
+		"sc_fails": 7, "htm_aborts": 9, "lls": 3,
+		"guest_instrs": 0, "ir_ops": 0, "scs": 0,
+		"tb_race_discards": 0, "htm_backoff_waits": 0,
+	} {
+		v, ok := got[name]
+		if !ok {
+			t.Errorf("Fields missing %q (have %v)", name, got)
+		} else if v != want {
+			t.Errorf("Fields[%q] = %d, want %d", name, v, want)
+		}
+	}
+	if _, ok := got["cycles"]; ok {
+		t.Error("Fields must exclude the Cycles array")
+	}
+	// Every uint64 field must be represented.
+	n := reflect.TypeOf(CPU{}).NumField() - 1 // minus Cycles
+	if len(got) != n {
+		t.Errorf("Fields returned %d entries, want %d", len(got), n)
 	}
 }
 

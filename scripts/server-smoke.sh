@@ -72,6 +72,26 @@ echo "$body" | grep -q '"state":"done"' || { echo "FAIL: hst job: $body"; exit 1
 echo "$body" | grep -q '"scheme_effective":"hst"' || { echo "FAIL: hst scheme: $body"; exit 1; }
 echo "hst job ok ($hst_id)"
 
+# /metrics: Prometheus text exposition. Both completed jobs must show in
+# the counter, the hst histogram must have a +Inf bucket, and every
+# non-comment line must match the exposition sample syntax.
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '^atomemu_jobs_completed_total 2$' \
+    || { echo "FAIL: jobs_completed_total: $(echo "$metrics" | grep jobs_completed || true)"; exit 1; }
+echo "$metrics" | grep -q '^atomemu_job_wall_seconds_bucket{scheme="hst",le="+Inf"} 1$' \
+    || { echo "FAIL: missing hst wall histogram +Inf bucket"; exit 1; }
+echo "$metrics" | grep -q '^atomemu_engine_scs_total [1-9]' \
+    || { echo "FAIL: engine SC counter missing or zero"; exit 1; }
+bad=$(echo "$metrics" | grep -v '^#' | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([-+]?[0-9.eE+-]+|[-+]?Inf|NaN)$' || true)
+if [ -n "$bad" ]; then
+    echo "FAIL: malformed exposition lines:"
+    echo "$bad"
+    exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/metrics")
+[ "$code" = "405" ] || { echo "FAIL: POST /metrics returned $code, want 405"; exit 1; }
+echo "metrics scrape ok ($(echo "$metrics" | grep -cv '^#') samples)"
+
 # Admission must reject nonsense with 400.
 code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/jobs" \
     -d '{"scheme":"qemu","gac":"func main(n) { exit(0); }"}')
