@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"atomemu/internal/asm"
 	"atomemu/internal/engine"
 	"atomemu/internal/harness"
+	"atomemu/internal/stats"
 )
 
 // The contention experiment measures HOST wall-clock throughput of the
@@ -15,8 +17,13 @@ import (
 // plus its accounting) and shared translation-block dispatch — by running
 // the LL/SC atomic-counter guest at a vCPU sweep. Unlike the figures,
 // which report virtual cycles, this reports real host time: it is the
-// regression check for the lock-free TB cache and the O(1) exclusive
-// accounting (see README "Host-side concurrency").
+// regression check for the lock-free TB cache, the O(1) exclusive
+// accounting, and (in fastpath mode) block chaining with the profile-gated
+// tier (see README "Host-side concurrency").
+//
+// Each scheme×threads point runs twice: "base" with the fast path off (the
+// historical configuration every recorded CSV used) and "fast" with
+// chaining and tiering on, so the two are directly comparable in one table.
 
 // contentionProgram is the canonical LL/SC increment worker: r0 = iterations.
 const contentionProgram = `
@@ -38,14 +45,27 @@ loop:
 counter: .word 0
 `
 
+// contentionChainBudget / contentionHotThreshold are the fastpath-mode
+// knobs: a deep chain budget (the worker is one tight loop, so links are
+// stable) and a low promotion threshold so the short benchmark spends its
+// time in promoted superblocks rather than warming up.
+const (
+	contentionChainBudget  = 128
+	contentionHotThreshold = 16
+)
+
 type contentionRow struct {
-	Scheme        string
-	Threads       int
-	WallMS        float64
-	SCsPerSec     float64
-	SharedLookups uint64
-	Translations  uint64
-	RaceDiscards  uint64
+	Scheme         string            `json:"scheme"`
+	Mode           string            `json:"mode"` // "base" or "fast"
+	Threads        int               `json:"threads"`
+	WallMS         float64           `json:"wall_ms"`
+	SCsPerSec      float64           `json:"sc_per_sec"`
+	SharedLookups  uint64            `json:"tb_shared_lookups"`
+	Translations   uint64            `json:"tb_translations"`
+	RaceDiscards   uint64            `json:"tb_race_discards"`
+	ChainFollows   uint64            `json:"chain_follows"`
+	TierPromotions uint64            `json:"tier_promotions"`
+	Cycles         map[string]uint64 `json:"cycles"` // per-component virtual cycles
 }
 
 type contentionResult struct {
@@ -64,40 +84,63 @@ func runContention(scale float64, threads []int, progress harness.Progress) (*co
 	if err != nil {
 		return nil, err
 	}
+	modes := []struct {
+		name string
+		mut  func(*engine.Config)
+	}{
+		{"base", func(cfg *engine.Config) {}},
+		{"fast", func(cfg *engine.Config) {
+			cfg.ChainBudget = contentionChainBudget
+			cfg.Tiered = true
+			cfg.HotThreshold = contentionHotThreshold
+		}},
+	}
 	res := &contentionResult{}
 	for _, scheme := range []string{"hst", "pico-st", "pico-cas"} {
-		for _, n := range threads {
-			m, err := engine.NewMachine(engine.DefaultConfig(scheme))
-			if err != nil {
-				return nil, err
-			}
-			if err := m.LoadImage(im); err != nil {
-				return nil, err
-			}
-			per := uint32(totalOps/uint64(n)) + 1
-			begin := time.Now()
-			for i := 0; i < n; i++ {
-				if _, err := m.SpawnThread(im.Entry, per); err != nil {
+		for _, mode := range modes {
+			for _, n := range threads {
+				cfg := engine.DefaultConfig(scheme)
+				mode.mut(&cfg)
+				m, err := engine.NewMachine(cfg)
+				if err != nil {
 					return nil, err
 				}
-			}
-			if err := m.Run(); err != nil {
-				return nil, err
-			}
-			wall := time.Since(begin)
-			agg := m.AggregateStats()
-			row := contentionRow{
-				Scheme:        scheme,
-				Threads:       n,
-				WallMS:        float64(wall.Microseconds()) / 1000,
-				SCsPerSec:     float64(agg.SCs-agg.SCFails) / wall.Seconds(),
-				SharedLookups: agg.TBSharedLookups,
-				Translations:  agg.TBTranslations,
-				RaceDiscards:  agg.TBRaceDiscards,
-			}
-			res.rows = append(res.rows, row)
-			if progress != nil {
-				progress("contention %s t=%d: %.1f ms, %.0f SC/s", scheme, n, row.WallMS, row.SCsPerSec)
+				if err := m.LoadImage(im); err != nil {
+					return nil, err
+				}
+				per := uint32(totalOps/uint64(n)) + 1
+				begin := time.Now()
+				for i := 0; i < n; i++ {
+					if _, err := m.SpawnThread(im.Entry, per); err != nil {
+						return nil, err
+					}
+				}
+				if err := m.Run(); err != nil {
+					return nil, err
+				}
+				wall := time.Since(begin)
+				agg := m.AggregateStats()
+				cycles := make(map[string]uint64, stats.NumComponents)
+				for comp := stats.Component(0); comp < stats.NumComponents; comp++ {
+					cycles[comp.String()] = agg.Cycles[comp]
+				}
+				row := contentionRow{
+					Scheme:         scheme,
+					Mode:           mode.name,
+					Threads:        n,
+					WallMS:         float64(wall.Microseconds()) / 1000,
+					SCsPerSec:      float64(agg.SCs-agg.SCFails) / wall.Seconds(),
+					SharedLookups:  agg.TBSharedLookups,
+					Translations:   agg.TBTranslations,
+					RaceDiscards:   agg.TBRaceDiscards,
+					ChainFollows:   agg.ChainFollows,
+					TierPromotions: agg.TierPromotions,
+					Cycles:         cycles,
+				}
+				res.rows = append(res.rows, row)
+				if progress != nil {
+					progress("contention %s/%s t=%d: %.1f ms, %.0f SC/s", scheme, mode.name, n, row.WallMS, row.SCsPerSec)
+				}
 			}
 		}
 	}
@@ -106,21 +149,35 @@ func runContention(scale float64, threads []int, progress harness.Progress) (*co
 
 // Render prints the host-throughput table.
 func (c *contentionResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "%-9s %8s %10s %12s %9s %7s %9s\n",
-		"scheme", "threads", "wall(ms)", "SC/s", "tblookup", "tbxlat", "tbdiscard")
+	fmt.Fprintf(w, "%-9s %-5s %8s %10s %12s %9s %7s %9s %10s %7s\n",
+		"scheme", "mode", "threads", "wall(ms)", "SC/s", "tblookup", "tbxlat", "tbdiscard", "chainfllw", "promo")
 	for _, r := range c.rows {
-		fmt.Fprintf(w, "%-9s %8d %10.1f %12.0f %9d %7d %9d\n",
-			r.Scheme, r.Threads, r.WallMS, r.SCsPerSec,
-			r.SharedLookups, r.Translations, r.RaceDiscards)
+		fmt.Fprintf(w, "%-9s %-5s %8d %10.1f %12.0f %9d %7d %9d %10d %7d\n",
+			r.Scheme, r.Mode, r.Threads, r.WallMS, r.SCsPerSec,
+			r.SharedLookups, r.Translations, r.RaceDiscards,
+			r.ChainFollows, r.TierPromotions)
 	}
 }
 
 // CSV writes the machine-readable form (out/contention.csv).
 func (c *contentionResult) CSV(w io.Writer) {
-	fmt.Fprintln(w, "scheme,threads,wall_ms,sc_per_sec,tb_shared_lookups,tb_translations,tb_race_discards")
+	fmt.Fprintln(w, "scheme,mode,threads,wall_ms,sc_per_sec,tb_shared_lookups,tb_translations,tb_race_discards,chain_follows,tier_promotions")
 	for _, r := range c.rows {
-		fmt.Fprintf(w, "%s,%d,%.3f,%.0f,%d,%d,%d\n",
-			r.Scheme, r.Threads, r.WallMS, r.SCsPerSec,
-			r.SharedLookups, r.Translations, r.RaceDiscards)
+		fmt.Fprintf(w, "%s,%s,%d,%.3f,%.0f,%d,%d,%d,%d,%d\n",
+			r.Scheme, r.Mode, r.Threads, r.WallMS, r.SCsPerSec,
+			r.SharedLookups, r.Translations, r.RaceDiscards,
+			r.ChainFollows, r.TierPromotions)
 	}
+}
+
+// JSON writes the full rows — including the per-component cycle breakdown
+// the flat CSV omits — as one machine-readable document, so the perf
+// trajectory (SC/s and where the cycles go) is diffable across commits.
+func (c *contentionResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string          `json:"experiment"`
+		Rows       []contentionRow `json:"rows"`
+	}{Experiment: "contention", Rows: c.rows})
 }

@@ -43,6 +43,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.25, "work scale factor (1.0 = full-size runs)")
 	threadsFlag := fs.String("threads", "", "comma-separated thread counts (default: per-figure sweep)")
 	outDir := fs.String("out", "", "directory for CSV output (omit to skip CSVs)")
+	jsonPath := fs.String("json", "", "path for the contention JSON report (contention/all only)")
 	quiet := fs.Bool("q", false, "suppress per-run progress lines")
 	stackOps := fs.Uint64("stack-ops", 1048575, "total stack operations for the correctness run")
 	stackThreads := fs.Int("stack-threads", 16, "threads for the correctness run")
@@ -160,6 +161,20 @@ func run(args []string) error {
 				return err
 			}
 			c.Render(os.Stdout)
+			if *jsonPath != "" {
+				if err := os.MkdirAll(filepath.Dir(*jsonPath), 0o755); err != nil {
+					return err
+				}
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := c.JSON(f); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
 			return saveCSV("contention.csv", c.CSV)
 		},
 		"resilience": func() error {

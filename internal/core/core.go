@@ -345,7 +345,8 @@ type CostModel struct {
 
 	SyscallBase uint64 // guest syscall entry/exit
 	TBLookup    uint64 // translation-cache hit
-	TBTranslate uint64 // per guest instruction translated
+	TBTranslate uint64 // per guest instruction translated (decode→IR→optimize)
+	TBDecode    uint64 // per guest instruction decoded for the interp tier (no IR)
 
 	// Checkpoint capture costs, charged to the checkpoint component only —
 	// never the guest-visible clock — so enabling checkpoints leaves a
@@ -376,6 +377,7 @@ func DefaultCostModel() CostModel {
 		SyscallBase:     1500,
 		TBLookup:        12,
 		TBTranslate:     400,
+		TBDecode:        80,
 		CheckpointBase:  5000,
 		CheckpointPage:  800,
 	}

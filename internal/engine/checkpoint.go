@@ -140,13 +140,10 @@ func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
 		}
 		c.mon = core.Monitor{}
 	}
-	flushTBs := false
 	if demote {
-		changed, err := m.demoteScheme()
-		if err != nil {
+		if err := m.demoteScheme(); err != nil {
 			return err
 		}
-		flushTBs = changed
 	}
 	m.mem.Restore(snap.Mem)
 	if !demote {
@@ -184,9 +181,12 @@ func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
 		c.wdStalled = 0
 		c.lastExclSeen = m.exclSections.Load()
 		c.preemptLeft = 0
-		if flushTBs {
-			c.localTBs = make(map[uint32]*TB)
-		}
+		// Always drop the vCPU-private TB tier: after a demotion it holds
+		// blocks instrumented for the wrong scheme, and after any rollback
+		// its chain links describe control flow the restored run may never
+		// re-validate. Resume re-looks-up and re-links from the shared
+		// cache.
+		c.localTBs = make(map[uint32]*localTB)
 		c.done = make(chan struct{})
 		if cs.Halted {
 			close(c.done)
@@ -244,15 +244,15 @@ func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
 	return nil
 }
 
-// demoteScheme swaps the active scheme for portable HST with fresh state,
-// reporting whether the translation options changed (in which case it has
-// already reset the shared TB cache and the caller must flush the per-vCPU
-// local caches: blocks translated without store instrumentation are wrong
-// for HST).
-func (m *Machine) demoteScheme() (changed bool, err error) {
+// demoteScheme swaps the active scheme for portable HST with fresh state.
+// When the translation options change it resets the shared TB cache —
+// blocks translated without store instrumentation are wrong for HST — and
+// restore unconditionally drops the per-vCPU local caches (stale blocks
+// and chain links) either way.
+func (m *Machine) demoteScheme() error {
 	tab, err := core.NewHashTable(m.cfg.HashBits)
 	if err != nil {
-		return false, err
+		return err
 	}
 	tab.SpinBudget = m.cfg.HashSpinBudget
 	tab.SetInjector(m.cfg.FaultInjector)
@@ -260,7 +260,7 @@ func (m *Machine) demoteScheme() (changed bool, err error) {
 	deps := core.Deps{Cost: &m.cfg.Cost, Res: &res, Htab: tab}
 	sch, err := core.New("hst", deps)
 	if err != nil {
-		return false, err
+		return err
 	}
 	m.scheme = sch
 	m.storeNotifier, _ = sch.(core.StoreNotifier)
@@ -269,7 +269,6 @@ func (m *Machine) demoteScheme() (changed bool, err error) {
 	m.topts.InstrumentLoads = sch.InstrumentsLoads()
 	if m.topts != old {
 		m.tbs.reset()
-		return true, nil
 	}
-	return false, nil
+	return nil
 }

@@ -91,5 +91,11 @@ func (cfg Config) Validate() error {
 	if n.HashSpinBudget < 0 {
 		return fmt.Errorf("engine: negative HashSpinBudget %d", n.HashSpinBudget)
 	}
+	if n.ChainBudget < 0 {
+		return fmt.Errorf("engine: negative ChainBudget %d (0 disables chaining)", n.ChainBudget)
+	}
+	if n.HotThreshold < 1 {
+		return fmt.Errorf("engine: HotThreshold %d must be at least 1", n.HotThreshold)
+	}
 	return nil
 }

@@ -41,8 +41,9 @@ type CPU struct {
 	// localTBs is the vCPU-private level of the two-level TB cache: plain
 	// map, no synchronization, absorbs every repeat lookup so the shared
 	// lock-free cache (Machine.tbs, tbcache.go) is only consulted once per
-	// (vCPU, pc).
-	localTBs map[uint32]*TB
+	// (vCPU, pc). Each entry also carries this vCPU's chain links and
+	// interp-tier promotion counter (tier.go).
+	localTBs map[uint32]*localTB
 
 	// yieldRng drives randomized host-yield spacing so deschedule points
 	// sweep across all guest loop phases (a fixed cadence phase-locks with
@@ -89,7 +90,7 @@ func newCPU(m *Machine, tid uint32) *CPU {
 		m:        m,
 		tid:      tid,
 		slots:    make([]uint32, 64),
-		localTBs: make(map[uint32]*TB),
+		localTBs: make(map[uint32]*localTB),
 		yieldRng: tid*2654435761 + 1,
 	}
 	c.ring = m.newTraceRing(tid, &c.clock)
@@ -290,14 +291,18 @@ func (c *CPU) run() {
 	}
 	deadline := c.m.cfg.VirtualDeadline
 	ckptEvery := c.m.cfg.CheckpointEvery
-	nextYield := c.yieldGap()
-	for n := 0; !c.halted; n++ {
+	// Both cadences count executed blocks, not loop iterations: one
+	// stepOnce may run a whole chain, and the watchdog/yield spacing must
+	// not stretch with the chain budget.
+	yieldLeft := c.yieldGap()
+	wdLeft := watchdogEvery
+	for !c.halted {
 		if c.m.stopped.Load() {
 			break
 		}
 		e.checkpoint(c)
 		c.witnessStalls()
-		c.stepOnce()
+		blocks := c.stepOnce()
 		if deadline > 0 && c.clock.Load() > deadline {
 			c.m.stop(&DeadlineError{TID: c.tid, Deadline: deadline, Clock: c.clock.Load()})
 			break
@@ -305,15 +310,16 @@ func (c *CPU) run() {
 		if ckptEvery > 0 {
 			c.m.maybeCheckpoint(c)
 		}
-		if n%watchdogEvery == watchdogEvery-1 {
+		if wdLeft -= blocks; wdLeft <= 0 {
 			c.watchdogCheck()
+			wdLeft = watchdogEvery
 		}
-		if n >= nextYield {
+		if yieldLeft -= blocks; yieldLeft <= 0 {
 			// On a single-core host, spinning guests starve lock holders
 			// without this; the randomized gap sweeps the deschedule point
 			// across guest loop phases.
 			runtime.Gosched()
-			nextYield = n + c.yieldGap()
+			yieldLeft = c.yieldGap()
 		}
 	}
 }
@@ -399,55 +405,93 @@ func (c *CPU) Step() (bool, error) {
 	return !c.halted, c.err
 }
 
-// stepOnce translates (if needed) and executes the block at pc.
-func (c *CPU) stepOnce() {
-	if c.m.cfg.MaxGuestInstrs > 0 && c.st.GuestInstrs > c.m.cfg.MaxGuestInstrs {
-		c.fail(fmt.Errorf("engine: tid %d exceeded %d guest instructions at pc %#08x",
-			c.tid, c.m.cfg.MaxGuestInstrs, c.pc))
-		return
-	}
-	if c.m.tm != nil {
-		// Emulator-interference model (paper §III-B, ref 18): a transaction
-		// still open at a block boundary has emulation work — TB lookups,
-		// chaining updates, shared profiling state — inside it; with more
-		// threads that shared state churns faster. Abort with probability
-		// min(0.95, ((threads-1)/HTMInterference)²). SC-only transactions
-		// (HST-HTM) never reach here and are immune, the paper's point.
-		if txn := c.mon.Txn; txn != nil && !txn.Done() {
-			denom := c.m.cfg.HTMInterference
-			if denom <= 0 {
-				denom = 16
-			}
-			n := uint64(c.m.runningCPUs.Load())
-			if n > 1 {
-				ratio := (n - 1) * 65536 / uint64(denom)
-				p := ratio * ratio / 65536
-				if p > 62259 { // 0.95 in 16-bit fixed point
-					p = 62259
+// stepOnce resolves and executes the block at pc, then — when chaining is
+// enabled — follows direct successor links for further blocks before
+// returning to the dispatch loop, up to Machine.chainBudget blocks in
+// total. Exclusive-protocol polling and witness stalls run at every chain
+// boundary, so stop-the-world requests and checkpoint cuts never wait on a
+// chain; the loop-level services (deadline, checkpoint cadence, watchdog,
+// yield) catch up when stepOnce returns, which is why it reports how many
+// blocks it ran. A followed link skips both the cache lookup and its
+// TBLookup charge — the modeled saving of direct chaining.
+func (c *CPU) stepOnce() int {
+	blocks := 0
+	var prev *localTB
+	var outcome exitOutcome
+	for {
+		if max := c.m.cfg.MaxGuestInstrs; max > 0 && c.st.GuestInstrs >= max {
+			c.fail(fmt.Errorf("engine: tid %d exceeded %d guest instructions at pc %#08x",
+				c.tid, max, c.pc))
+			return blocks
+		}
+		if c.m.tm != nil {
+			// Emulator-interference model (paper §III-B, ref 18): a transaction
+			// still open at a block boundary has emulation work — TB lookups,
+			// chaining updates, shared profiling state — inside it; with more
+			// threads that shared state churns faster. Abort with probability
+			// min(0.95, ((threads-1)/HTMInterference)²). SC-only transactions
+			// (HST-HTM) never reach here and are immune, the paper's point.
+			if txn := c.mon.Txn; txn != nil && !txn.Done() {
+				denom := c.m.cfg.HTMInterference
+				if denom <= 0 {
+					denom = 16
 				}
-				r := c.yieldRng
-				r ^= r << 13
-				r ^= r >> 17
-				r ^= r << 5
-				c.yieldRng = r
-				if uint64(r>>16) < p {
-					txn.AbortNow(htm.ReasonEmulation)
-					c.st.HTMAborts++
-					c.ring.Emit(obs.EvHTMAbort, c.pc, uint64(htm.ReasonEmulation))
-					c.charge(stats.CompHTM, c.m.cfg.Cost.HTMAbort)
+				n := uint64(c.m.runningCPUs.Load())
+				if n > 1 {
+					ratio := (n - 1) * 65536 / uint64(denom)
+					p := ratio * ratio / 65536
+					if p > 62259 { // 0.95 in 16-bit fixed point
+						p = 62259
+					}
+					r := c.yieldRng
+					r ^= r << 13
+					r ^= r >> 17
+					r ^= r << 5
+					c.yieldRng = r
+					if uint64(r>>16) < p {
+						txn.AbortNow(htm.ReasonEmulation)
+						c.st.HTMAborts++
+						c.ring.Emit(obs.EvHTMAbort, c.pc, uint64(htm.ReasonEmulation))
+						c.charge(stats.CompHTM, c.m.cfg.Cost.HTMAbort)
+					}
 				}
 			}
 		}
+		if w := c.m.cfg.TraceWriter; w != nil {
+			c.trace(w)
+		}
+		// Resolve the next block: follow the chain link when one exists,
+		// otherwise look it up and install the link for next time.
+		var lt *localTB
+		if prev != nil {
+			lt = prev.link(outcome)
+		}
+		if lt == nil {
+			var err error
+			lt, err = c.m.localFor(c, c.pc)
+			if err != nil {
+				c.fail(fmt.Errorf("engine: tid %d: %w", c.tid, err))
+				return blocks
+			}
+			if prev != nil {
+				prev.setLink(outcome, lt)
+				c.st.ChainLinks++
+				c.ring.Emit(obs.EvChainLink, prev.start, uint64(lt.start))
+			}
+		} else {
+			c.st.ChainFollows++
+		}
+		outcome = c.exec(lt)
+		blocks++
+		if outcome == exitNone || c.halted || blocks >= c.m.chainBudget || c.m.stopped.Load() {
+			return blocks
+		}
+		prev = lt
+		// Chain boundary: the same gates the dispatch loop runs before a
+		// block — park for pending exclusive sections, pay witnessed stalls.
+		c.m.excl.checkpoint(c)
+		c.witnessStalls()
 	}
-	if w := c.m.cfg.TraceWriter; w != nil {
-		c.trace(w)
-	}
-	tb, err := c.m.tbFor(c, c.pc)
-	if err != nil {
-		c.fail(fmt.Errorf("engine: tid %d: %w", c.tid, err))
-		return
-	}
-	c.execBlock(tb.block)
 }
 
 // trace logs the instruction about to execute (TraceWriter mode).
@@ -466,8 +510,10 @@ func (c *CPU) trace(w io.Writer) {
 		c.tid, c.pc, text, c.slots[0], c.slots[1], c.slots[13])
 }
 
-// execBlock interprets one IR block.
-func (c *CPU) execBlock(b *ir.Block) {
+// execBlock interprets one IR block and reports how it exited, for
+// chaining: direct exits (ExitJmp, either ExitCond edge) have statically
+// known targets and may be linked; everything else returns exitNone.
+func (c *CPU) execBlock(b *ir.Block) exitOutcome {
 	if len(c.slots) < b.NumSlots {
 		grown := make([]uint32, b.NumSlots+16)
 		copy(grown, c.slots)
@@ -590,7 +636,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			v, f := mem.LoadWord(s[in.A] + in.Imm)
 			if f != nil {
 				c.guestFault(f, in)
-				return
+				return exitNone
 			}
 			s[in.D] = v
 			c.st.Loads++
@@ -600,7 +646,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			v, f := mem.LoadByte(s[in.A] + in.Imm)
 			if f != nil {
 				c.guestFault(f, in)
-				return
+				return exitNone
 			}
 			s[in.D] = uint32(v)
 			c.st.Loads++
@@ -610,7 +656,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			v, err := scheme.Load(c, s[in.A]+in.Imm)
 			if err != nil {
 				c.schemeFault(err, in)
-				return
+				return exitNone
 			}
 			s[in.D] = v
 			c.st.Loads++
@@ -620,7 +666,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			v, err := scheme.LoadB(c, s[in.A]+in.Imm)
 			if err != nil {
 				c.schemeFault(err, in)
-				return
+				return exitNone
 			}
 			s[in.D] = uint32(v)
 			c.st.Loads++
@@ -631,7 +677,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			addr := s[in.A] + in.Imm
 			if f := mem.StoreWord(addr, s[in.B]); f != nil {
 				c.guestFault(f, in)
-				return
+				return exitNone
 			}
 			if tm != nil {
 				tm.NotifyStore(addr)
@@ -643,7 +689,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			addr := s[in.A] + in.Imm
 			if f := mem.StoreByte(addr, uint8(s[in.B])); f != nil {
 				c.guestFault(f, in)
-				return
+				return exitNone
 			}
 			if tm != nil {
 				tm.NotifyStore(addr &^ 3)
@@ -654,7 +700,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			c.maybePreempt()
 			if err := scheme.Store(c, s[in.A]+in.Imm, s[in.B]); err != nil {
 				c.schemeFault(err, in)
-				return
+				return exitNone
 			}
 			c.st.Stores++
 			native += cost.MemAccess
@@ -662,7 +708,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			c.maybePreempt()
 			if err := scheme.StoreB(c, s[in.A]+in.Imm, uint8(s[in.B])); err != nil {
 				c.schemeFault(err, in)
-				return
+				return exitNone
 			}
 			c.st.Stores++
 			native += cost.MemAccess
@@ -673,7 +719,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			v, err := scheme.LL(c, addr)
 			if err != nil {
 				c.schemeFault(err, in)
-				return
+				return exitNone
 			}
 			s[in.D] = v
 			c.st.LLs++
@@ -685,7 +731,7 @@ func (c *CPU) execBlock(b *ir.Block) {
 			status, err := scheme.SC(c, s[in.A], s[in.B])
 			if err != nil {
 				c.schemeFault(err, in)
-				return
+				return exitNone
 			}
 			if status == 0 {
 				// Failures are emitted by the scheme with a reason code.
@@ -711,12 +757,12 @@ func (c *CPU) execBlock(b *ir.Block) {
 				old, f := mem.ReadWordPriv(addr)
 				if f != nil {
 					c.guestFault(f, in)
-					return
+					return exitNone
 				}
 				ok, f := mem.CASWordPriv(addr, old, in.RMW.Eval(old, operand))
 				if f != nil {
 					c.guestFault(f, in)
-					return
+					return exitNone
 				}
 				if ok {
 					s[in.D] = old
@@ -741,51 +787,59 @@ func (c *CPU) execBlock(b *ir.Block) {
 
 		case ir.ExitJmp:
 			c.pc = in.Addr
-			return
+			return exitTaken
 		case ir.ExitCond:
+			native += cost.IROp
 			if c.flags.Test(in.Cond) {
 				c.pc = in.Addr
-			} else {
-				c.pc = in.Addr2
+				return exitTaken
 			}
-			native += cost.IROp
-			return
+			c.pc = in.Addr2
+			return exitFall
 		case ir.ExitInd:
 			c.pc = s[in.A]
 			native += cost.IROp
-			return
+			return exitNone
 		case ir.Syscall:
 			c.pc = in.Addr
 			c.m.syscall(c, in.Imm)
-			return
+			return exitNone
 		case ir.Halt:
 			c.halted = true
-			return
+			return exitNone
 		case ir.YieldOp:
 			c.pc = in.Addr
 			runtime.Gosched()
-			return
+			return exitNone
 
 		default:
 			c.fail(fmt.Errorf("engine: tid %d: unhandled IR op %s at %#08x", c.tid, in.Op, in.GuestPC))
-			return
+			return exitNone
 		}
 	}
 	// The verifier guarantees a terminator; reaching here is an engine bug.
 	c.fail(fmt.Errorf("engine: block %#08x fell off the end", b.Start))
+	return exitNone
 }
 
 // guestFault reports an unhandled guest memory fault — the emulated program
 // crashed (e.g. the corrupted lock-free stack dereferencing garbage).
-func (c *CPU) guestFault(f *mmu.Fault, in *ir.Inst) {
-	c.fail(fmt.Errorf("engine: tid %d: guest fault at pc %#08x: %w", c.tid, in.GuestPC, f))
+func (c *CPU) guestFault(f *mmu.Fault, in *ir.Inst) { c.guestFaultAt(f, in.GuestPC) }
+
+// guestFaultAt is guestFault for call sites without an IR instruction (the
+// interp tier carries guest pcs directly).
+func (c *CPU) guestFaultAt(f *mmu.Fault, pc uint32) {
+	c.fail(fmt.Errorf("engine: tid %d: guest fault at pc %#08x: %w", c.tid, pc, f))
 }
 
 // schemeFault reports an error from the emulation scheme: either a guest
 // fault surfaced through the scheme, or a scheme failure such as PICO-HTM
 // livelock.
-func (c *CPU) schemeFault(err error, in *ir.Inst) {
-	c.fail(fmt.Errorf("engine: tid %d: at pc %#08x: %w", c.tid, in.GuestPC, err))
+func (c *CPU) schemeFault(err error, in *ir.Inst) { c.schemeFaultAt(err, in.GuestPC) }
+
+// schemeFaultAt is schemeFault for call sites without an IR instruction.
+func (c *CPU) schemeFaultAt(err error, pc uint32) {
+	c.fail(fmt.Errorf("engine: tid %d: at pc %#08x: %w", c.tid, pc, err))
 }
 
 func sdiv32(a, b uint32) uint32 {

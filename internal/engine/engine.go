@@ -77,6 +77,25 @@ type Config struct {
 	// FuseAtomics enables rule-based translation (paper §VI): recognized
 	// LL/SC retry loops run as single fused host atomics.
 	FuseAtomics bool
+	// ChainBudget enables direct block chaining: a block exiting through a
+	// direct branch jumps straight to its successor without returning to
+	// the dispatch loop, for at most this many blocks per loop iteration.
+	// Exclusive-protocol polling and witness stalls still run at every
+	// chained boundary; the budget only bounds how stale the loop-level
+	// services (deadline, checkpoint cadence, watchdog, host yield) can
+	// get. 0 (the default) disables chaining; forced off in StepMode and
+	// under TraceWriter, which need the loop after every block.
+	ChainBudget int
+	// Tiered enables profile-gated tiering: cold blocks run in a
+	// decoder-direct interp tier (translate.Interp — no IR, no optimizer)
+	// and are re-translated as optimized superblocks once their per-vCPU
+	// execution count crosses HotThreshold. Off by default: the tier's
+	// virtual-time charges are close to but not cycle-identical with the
+	// always-IR pipeline, so the figure/correctness harness leaves it off.
+	Tiered bool
+	// HotThreshold is the per-vCPU execution count at which a tiered
+	// block is promoted to optimized IR (0 = default 64).
+	HotThreshold int
 	// HTMInterference calibrates how violently emulation work interferes
 	// with transactions that span block boundaries (PICO-HTM's LL…SC
 	// windows): at each boundary inside an open transaction the engine
@@ -167,6 +186,7 @@ func DefaultConfig(scheme string) Config {
 		HTMInterference:  16,
 		WatchdogSCFails:  1 << 17,
 		RecoveryAttempts: 3,
+		HotThreshold:     64,
 	}
 }
 
@@ -186,6 +206,13 @@ type Machine struct {
 	// tbs is the shared translation-block cache: lock-free sharded
 	// copy-on-write lookups, see tbcache.go.
 	tbs tbCache
+
+	// Effective IR-bypass knobs (tier.go), derived from cfg at
+	// construction: StepMode and TraceWriter force both off.
+	chainBudget  int
+	tiered       bool
+	hotThreshold uint32
+	superMax     int // superblock instruction cap used at promotion
 
 	cpuMu sync.Mutex
 	cpus  []*CPU
@@ -256,9 +283,22 @@ type Machine struct {
 	hostRing *obs.Ring
 }
 
-// TB is a cached translation block.
+// TB is a cached translation block — the shared, scheme-consistent unit of
+// the two-level cache. Without tiering, ir is set before the TB is
+// published and never changes. Under profile-gated tiering a TB is born
+// with only its decoded form (dec) and ir is published once, by the first
+// vCPU that promotes the block (tier.go); dec stays valid so vCPUs that
+// have not noticed the promotion yet can still interpret.
 type TB struct {
-	block *ir.Block
+	ir  atomic.Pointer[ir.Block]
+	dec *translate.Decoded
+}
+
+// newIRTB wraps an already-translated IR block as a TB.
+func newIRTB(block *ir.Block) *TB {
+	tb := &TB{}
+	tb.ir.Store(block)
+	return tb
 }
 
 // normalized fills zero-valued sizing fields from DefaultConfig while
@@ -305,6 +345,9 @@ func (cfg Config) normalized() Config {
 	// RecoveryAttempts likewise: 0 means default, negative disables.
 	if cfg.RecoveryAttempts == 0 {
 		cfg.RecoveryAttempts = def.RecoveryAttempts
+	}
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = def.HotThreshold
 	}
 	return cfg
 }
@@ -388,6 +431,20 @@ func NewMachine(cfg Config) (*Machine, error) {
 		FuseAtomics:      cfg.FuseAtomics,
 	}
 	m.storeNotifier, _ = m.scheme.(core.StoreNotifier)
+
+	m.chainBudget = cfg.ChainBudget
+	m.tiered = cfg.Tiered
+	m.hotThreshold = uint32(cfg.HotThreshold)
+	if cfg.StepMode || cfg.TraceWriter != nil {
+		// Single-stepping and per-instruction tracing rely on returning to
+		// the dispatch loop after every (one-instruction) block.
+		m.chainBudget = 0
+		m.tiered = false
+	}
+	m.superMax = translate.DefaultSuperblockInstrs
+	if maxTB > 0 {
+		m.superMax = 4 * maxTB
+	}
 
 	// The runtime page: the thread-exit trampoline (svc exit).
 	if err := m.mem.Map(RuntimeBase, mmu.PageSize, mmu.PermRX); err != nil {
@@ -689,50 +746,65 @@ func (m *Machine) chargeExclusiveEntry(c *CPU) {
 }
 
 // tbFor returns the translation block at pc, translating on a shared-cache
-// miss. The shared lookup is lock-free (tbcache.go) and translation runs
-// outside any critical section, so concurrent misses on different PCs
-// proceed in parallel; racing misses on the same pc adopt the first
-// published block. Translation inside an open PICO-HTM window aborts the
-// transaction — the paper's "QEMU code becomes part of the transaction"
-// effect.
+// miss; see localFor for the mechanics. Kept as the shared-level entry
+// point for tests and tools that care about the TB, not the per-vCPU view.
 func (m *Machine) tbFor(c *CPU, pc uint32) (*TB, error) {
-	if tb := c.localTBs[pc]; tb != nil {
-		c.charge(stats.CompNative, m.cfg.Cost.TBLookup)
-		return tb, nil
+	lt, err := m.localFor(c, pc)
+	if err != nil {
+		return nil, err
+	}
+	return lt.tb, nil
+}
+
+// localFor returns the vCPU-private view of the block at pc, translating
+// on a shared-cache miss. The shared lookup is lock-free (tbcache.go) and
+// translation runs outside any critical section, so concurrent misses on
+// different PCs proceed in parallel; racing misses on the same pc adopt
+// the first published block. Translation inside an open PICO-HTM window
+// aborts the transaction — the paper's "QEMU code becomes part of the
+// transaction" effect.
+//
+// Cycle attribution: cache probes charge CompTBLookup and translation
+// charges CompTBTranslate (both tiers folded these into CompNative once,
+// which made the translate pipeline invisible in /metrics and in tiering
+// decisions). Under tiering a cold miss only decodes (Cost.TBDecode per
+// instruction); the full Cost.TBTranslate is paid at promotion.
+func (m *Machine) localFor(c *CPU, pc uint32) (*localTB, error) {
+	if lt := c.localTBs[pc]; lt != nil {
+		c.charge(stats.CompTBLookup, m.cfg.Cost.TBLookup)
+		return lt, nil
 	}
 	c.st.TBSharedLookups++
 	tb := m.tbs.get(pc)
 	if tb == nil {
-		if c.mon.Txn != nil && !c.mon.Txn.Done() {
-			c.mon.Txn.AbortNow(htm.ReasonEmulation)
-			c.st.HTMAborts++
-			c.ring.Emit(obs.EvHTMAbort, pc, uint64(htm.ReasonEmulation))
-			c.charge(stats.CompHTM, m.cfg.Cost.HTMAbort)
-		}
-		fetch := func(addr uint32) (uint32, error) {
-			w, f := m.mem.FetchWord(addr)
-			if f != nil {
-				return 0, f
-			}
-			return w, nil
-		}
-		block, err := translate.Block(fetch, pc, m.topts)
-		if err != nil {
-			return nil, err
-		}
-		// The vCPU did the translation work whether or not its block wins
+		c.abortOpenTxn(pc)
+		// The vCPU does the translation work whether or not its block wins
 		// the publish race, so it pays the translate cost either way.
 		var won bool
-		tb, won = m.tbs.insert(pc, &TB{block: block})
+		if m.tiered {
+			dec, err := translate.Decode(m.fetcher(), pc, m.topts)
+			if err != nil {
+				return nil, err
+			}
+			tb, won = m.tbs.insert(pc, &TB{dec: dec})
+			c.charge(stats.CompTBTranslate, m.cfg.Cost.TBDecode*uint64(dec.GuestLen))
+		} else {
+			block, err := translate.Block(m.fetcher(), pc, m.topts)
+			if err != nil {
+				return nil, err
+			}
+			tb, won = m.tbs.insert(pc, newIRTB(block))
+			c.charge(stats.CompTBTranslate, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
+		}
 		c.st.TBTranslations++
 		if !won {
 			c.st.TBRaceDiscards++
 		}
-		c.charge(stats.CompNative, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
 	}
-	c.localTBs[pc] = tb
-	c.charge(stats.CompNative, m.cfg.Cost.TBLookup)
-	return tb, nil
+	lt := &localTB{tb: tb, start: pc, block: tb.ir.Load()}
+	c.localTBs[pc] = lt
+	c.charge(stats.CompTBLookup, m.cfg.Cost.TBLookup)
+	return lt, nil
 }
 
 // trampolineWords builds the runtime page: "svc #SysExit" so a thread entry

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"testing"
+
+	"atomemu/internal/stats"
 )
 
 // TestTBCacheRacingMissesYieldOneTB races get-or-insert on overlapping PCs
@@ -120,6 +122,21 @@ func TestTBForRacingTranslationsAgree(t *testing.T) {
 	}
 	if n := m.tbs.len(); n != npcs {
 		t.Fatalf("shared cache holds %d blocks, want %d", n, npcs)
+	}
+	// Cycle attribution: translation work belongs to CompTBTranslate for
+	// every vCPU that translated — including racers whose block lost the
+	// publish and was discarded — and never folds into CompNative (the old
+	// mis-attribution this PR fixes). No block was executed here, so the
+	// native component must stay zero everywhere.
+	for _, c := range cpus {
+		if c.st.TBTranslations > 0 && c.st.Cycles[stats.CompTBTranslate] == 0 {
+			t.Errorf("tid %d translated %d blocks (%d discarded) but charged no tb_translate cycles",
+				c.tid, c.st.TBTranslations, c.st.TBRaceDiscards)
+		}
+		if c.st.Cycles[stats.CompNative] != 0 {
+			t.Errorf("tid %d: translation leaked %d cycles into the native component",
+				c.tid, c.st.Cycles[stats.CompNative])
+		}
 	}
 }
 

@@ -1,0 +1,502 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/htm"
+	"atomemu/internal/ir"
+	"atomemu/internal/mmu"
+	"atomemu/internal/obs"
+	"atomemu/internal/stats"
+	"atomemu/internal/translate"
+)
+
+// This file is the IR-bypass fast path (ROADMAP item 1): direct block
+// chaining, the decoder-direct interp tier, and superblock promotion.
+//
+//   - Chaining: a localTB records its taken/fallthrough successors, so
+//     stepOnce follows a committed exit straight to the next block without
+//     a cache lookup. Links live in the vCPU-private tier only and die
+//     with it (TB flush, scheme demotion, checkpoint restore).
+//   - Tiering: with Config.Tiered, a cold block is only decoded
+//     (translate.Interp tier: no IR, no optimizer) and interpreted off the
+//     instruction slice; once its per-vCPU execution count crosses
+//     HotThreshold it is re-translated as an optimized superblock
+//     (translation follows unconditional branches) and the IR is published
+//     on the shared TB for every vCPU to adopt.
+
+// localTB is one vCPU's private view of a TB: the resolved executable form
+// plus the direct-chaining links to its successors. Everything here is
+// single-goroutine state; dropping the localTBs map (TB-cache flush,
+// demotion, restore) drops the chain links with it.
+type localTB struct {
+	tb    *TB
+	start uint32
+	block *ir.Block // resolved IR; nil while the block runs in the interp tier
+	execs uint32    // interp-tier executions by this vCPU, drives promotion
+	taken *localTB  // successor after a taken/direct exit
+	fall  *localTB  // successor after a fallthrough exit
+}
+
+// exitOutcome classifies how a block ended, for chaining: only direct
+// exits (whose target is a static property of the block) may be chained.
+type exitOutcome uint8
+
+const (
+	exitNone  exitOutcome = iota // indirect, syscall, halt, yield, fault
+	exitTaken                    // direct jump or taken conditional branch
+	exitFall                     // untaken conditional branch
+)
+
+// link returns the chain successor recorded for outcome o, if any.
+func (lt *localTB) link(o exitOutcome) *localTB {
+	if o == exitTaken {
+		return lt.taken
+	}
+	return lt.fall
+}
+
+// setLink records the chain successor for outcome o. Valid because a direct
+// exit's target is determined by the block form alone; any change of form
+// (promotion, IR adoption) resets the links first.
+func (lt *localTB) setLink(o exitOutcome, next *localTB) {
+	if o == exitTaken {
+		lt.taken = next
+	} else {
+		lt.fall = next
+	}
+}
+
+// abortOpenTxn aborts an open transaction before emulation work that the
+// paper's interference model says cannot survive inside one (translation,
+// promotion): QEMU's translator touches shared emulator state.
+func (c *CPU) abortOpenTxn(pc uint32) {
+	if txn := c.mon.Txn; txn != nil && !txn.Done() {
+		txn.AbortNow(htm.ReasonEmulation)
+		c.st.HTMAborts++
+		c.ring.Emit(obs.EvHTMAbort, pc, uint64(htm.ReasonEmulation))
+		c.charge(stats.CompHTM, c.m.cfg.Cost.HTMAbort)
+	}
+}
+
+// fetcher adapts the MMU's instruction fetch for the translator.
+func (m *Machine) fetcher() translate.FetchFunc {
+	return func(addr uint32) (uint32, error) {
+		w, f := m.mem.FetchWord(addr)
+		if f != nil {
+			return 0, f
+		}
+		return w, nil
+	}
+}
+
+// promote re-translates a hot interp-tier block as an optimized superblock
+// and publishes the IR on its shared TB. The first promoter wins the
+// publish; a racer adopts the published block but still pays for the
+// translation work it did (mirroring the TB-cache race-discard account).
+func (m *Machine) promote(c *CPU, lt *localTB) error {
+	opts := m.topts
+	opts.FollowUncond = true
+	opts.MaxGuestInstrs = m.superMax
+	block, err := translate.Block(m.fetcher(), lt.start, opts)
+	if err != nil {
+		return err
+	}
+	c.st.TBTranslations++
+	c.st.TierPromotions++
+	c.charge(stats.CompTBTranslate, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
+	if !lt.tb.ir.CompareAndSwap(nil, block) {
+		c.st.TBRaceDiscards++
+	}
+	lt.block = lt.tb.ir.Load()
+	// The superblock's terminator need not match the decoded block's;
+	// stale links would chain to the wrong successor.
+	lt.taken, lt.fall = nil, nil
+	c.ring.Emit(obs.EvTierPromote, lt.start, uint64(lt.execs))
+	return nil
+}
+
+// truncatedBlock one-off translates the block at pc capped to n guest
+// instructions, bypassing both cache tiers: it exists only to clamp the
+// final block of a MaxGuestInstrs-bounded run, and caching it would poison
+// the caches with an artificially short block. Fusion is disabled because
+// a fused LL/SC loop consumes several guest instructions as one unit and
+// could punch through the cap.
+func (m *Machine) truncatedBlock(c *CPU, pc uint32, n int) (*ir.Block, error) {
+	opts := m.topts
+	opts.MaxGuestInstrs = n
+	opts.FuseAtomics = false
+	opts.FollowUncond = false
+	block, err := translate.Block(m.fetcher(), pc, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.charge(stats.CompTBTranslate, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
+	return block, nil
+}
+
+// exec runs one resolved block: optimized IR when available, otherwise the
+// decoder-direct interp tier. Interp executions are counted toward
+// promotion; IR published by another vCPU's promotion is adopted first.
+func (c *CPU) exec(lt *localTB) exitOutcome {
+	if lt.block == nil {
+		if b := lt.tb.ir.Load(); b != nil {
+			lt.block = b
+			lt.taken, lt.fall = nil, nil
+		} else {
+			lt.execs++
+			if lt.execs >= c.m.hotThreshold {
+				c.abortOpenTxn(lt.start)
+				if err := c.m.promote(c, lt); err != nil {
+					c.fail(fmt.Errorf("engine: tid %d: %w", c.tid, err))
+					return exitNone
+				}
+			}
+		}
+	}
+	if b := lt.block; b != nil {
+		if max := c.m.cfg.MaxGuestInstrs; max > 0 {
+			if remain := max - c.st.GuestInstrs; uint64(b.GuestLen) > remain {
+				// Fewer guest instructions remain in the budget than the
+				// block holds: run a one-off translation of just the
+				// remainder so the overshoot stays bounded (the dispatch
+				// loop fails the run at the next block boundary).
+				tb, err := c.m.truncatedBlock(c, b.Start, int(remain))
+				if err != nil {
+					c.fail(fmt.Errorf("engine: tid %d: %w", c.tid, err))
+					return exitNone
+				}
+				b = tb
+			}
+		}
+		return c.execBlock(b)
+	}
+	c.st.InterpBlocks++
+	d := lt.tb.dec
+	limit := len(d.Instrs)
+	if max := c.m.cfg.MaxGuestInstrs; max > 0 {
+		if remain := max - c.st.GuestInstrs; uint64(limit) > remain {
+			limit = int(remain)
+		}
+	}
+	return c.execDecoded(d, limit)
+}
+
+// execDecoded interprets a decoded block straight off the instruction
+// slice — the translate.Interp tier. Architectural semantics and
+// virtual-cycle charges mirror the IR lowering in translate.emit op for op
+// (MOVT and TST lower to two IR ops, register-offset memory ops pay an
+// extra address add), so a block's effect is the same in either tier; only
+// the optimizer's savings differ, which is the point of promoting. limit
+// caps how many instructions run (the MaxGuestInstrs clamp); a block cut
+// short — by limit or by a truncated decode — resumes at the next pc
+// exactly like a truncated IR block's continuation ExitJmp.
+func (c *CPU) execDecoded(d *translate.Decoded, limit int) exitOutcome {
+	s := c.slots
+	mem := c.m.mem
+	scheme := c.m.scheme
+	cost := &c.m.cfg.Cost
+	tm := c.m.tm
+	var native uint64
+	executed, irops := 0, 0
+
+	defer func() {
+		c.st.IROps += uint64(irops)
+		c.st.GuestInstrs += uint64(executed)
+		c.charge(stats.CompNative, native)
+	}()
+
+	if limit > len(d.Instrs) {
+		limit = len(d.Instrs)
+	}
+	for i := 0; i < limit; i++ {
+		in := &d.Instrs[i]
+		pc := d.Start + uint32(i)*arch.InstrBytes
+		next := pc + arch.InstrBytes
+		executed++
+		irops++ // most opcodes lower to one IR op; multi-op cases add more
+		switch in.Op {
+		case arch.ADD:
+			s[in.Rd] = s[in.Rn] + s[in.Rm]
+			native += cost.IROp
+		case arch.SUB:
+			s[in.Rd] = s[in.Rn] - s[in.Rm]
+			native += cost.IROp
+		case arch.RSB:
+			s[in.Rd] = s[in.Rm] - s[in.Rn]
+			native += cost.IROp
+		case arch.AND:
+			s[in.Rd] = s[in.Rn] & s[in.Rm]
+			native += cost.IROp
+		case arch.ORR:
+			s[in.Rd] = s[in.Rn] | s[in.Rm]
+			native += cost.IROp
+		case arch.EOR:
+			s[in.Rd] = s[in.Rn] ^ s[in.Rm]
+			native += cost.IROp
+		case arch.MUL:
+			s[in.Rd] = s[in.Rn] * s[in.Rm]
+			native += cost.IROp
+		case arch.UDIV:
+			if dvs := s[in.Rm]; dvs == 0 {
+				s[in.Rd] = 0
+			} else {
+				s[in.Rd] = s[in.Rn] / dvs
+			}
+			native += cost.IROp
+		case arch.SDIV:
+			s[in.Rd] = sdiv32(s[in.Rn], s[in.Rm])
+			native += cost.IROp
+		case arch.LSL:
+			s[in.Rd] = s[in.Rn] << (s[in.Rm] & 31)
+			native += cost.IROp
+		case arch.LSR:
+			s[in.Rd] = s[in.Rn] >> (s[in.Rm] & 31)
+			native += cost.IROp
+		case arch.ASR:
+			s[in.Rd] = uint32(int32(s[in.Rn]) >> (s[in.Rm] & 31))
+			native += cost.IROp
+		case arch.ADDS:
+			s[in.Rd], c.flags = addFlags(s[in.Rn], s[in.Rm])
+			native += cost.IROp
+		case arch.SUBS:
+			s[in.Rd], c.flags = subFlags(s[in.Rn], s[in.Rm])
+			native += cost.IROp
+
+		case arch.ADDI:
+			s[in.Rd] = s[in.Rn] + uint32(in.Imm)
+			native += cost.IROp
+		case arch.SUBI:
+			s[in.Rd] = s[in.Rn] - uint32(in.Imm)
+			native += cost.IROp
+		case arch.RSBI:
+			s[in.Rd] = uint32(in.Imm) - s[in.Rn]
+			native += cost.IROp
+		case arch.ANDI:
+			s[in.Rd] = s[in.Rn] & uint32(in.Imm)
+			native += cost.IROp
+		case arch.ORRI:
+			s[in.Rd] = s[in.Rn] | uint32(in.Imm)
+			native += cost.IROp
+		case arch.EORI:
+			s[in.Rd] = s[in.Rn] ^ uint32(in.Imm)
+			native += cost.IROp
+		case arch.LSLI:
+			s[in.Rd] = s[in.Rn] << (uint32(in.Imm) & 31)
+			native += cost.IROp
+		case arch.LSRI:
+			s[in.Rd] = s[in.Rn] >> (uint32(in.Imm) & 31)
+			native += cost.IROp
+		case arch.ASRI:
+			s[in.Rd] = uint32(int32(s[in.Rn]) >> (uint32(in.Imm) & 31))
+			native += cost.IROp
+		case arch.ADDSI:
+			s[in.Rd], c.flags = addFlags(s[in.Rn], uint32(in.Imm))
+			native += cost.IROp
+		case arch.SUBSI:
+			s[in.Rd], c.flags = subFlags(s[in.Rn], uint32(in.Imm))
+			native += cost.IROp
+
+		case arch.MOV:
+			s[in.Rd] = s[in.Rm]
+			native += cost.IROp
+		case arch.MVN:
+			s[in.Rd] = ^s[in.Rm]
+			native += cost.IROp
+		case arch.MOVI, arch.MOVW:
+			s[in.Rd] = uint32(in.Imm)
+			native += cost.IROp
+		case arch.MOVT:
+			s[in.Rd] = (s[in.Rd] & 0xffff) | uint32(in.Imm)<<16
+			irops++
+			native += 2 * cost.IROp
+		case arch.CMP:
+			_, c.flags = subFlags(s[in.Rn], s[in.Rm])
+			native += cost.IROp
+		case arch.CMN:
+			_, c.flags = addFlags(s[in.Rn], s[in.Rm])
+			native += cost.IROp
+		case arch.CMPI:
+			_, c.flags = subFlags(s[in.Rn], uint32(in.Imm))
+			native += cost.IROp
+		case arch.TST:
+			v := s[in.Rn] & s[in.Rm]
+			c.flags.N = int32(v) < 0
+			c.flags.Z = v == 0
+			irops++
+			native += 2 * cost.IROp
+
+		case arch.LDR, arch.LDRB, arch.LDRR, arch.LDRBR:
+			addr := s[in.Rn]
+			byte_ := in.Op == arch.LDRB || in.Op == arch.LDRBR
+			if in.Op == arch.LDRR || in.Op == arch.LDRBR {
+				addr += s[in.Rm]
+				irops++
+				native += cost.IROp
+			} else {
+				addr += uint32(in.Imm)
+			}
+			c.maybePreempt()
+			if c.m.topts.InstrumentLoads {
+				if byte_ {
+					b8, err := scheme.LoadB(c, addr)
+					if err != nil {
+						c.schemeFaultAt(err, pc)
+						return exitNone
+					}
+					s[in.Rd] = uint32(b8)
+				} else {
+					v, err := scheme.Load(c, addr)
+					if err != nil {
+						c.schemeFaultAt(err, pc)
+						return exitNone
+					}
+					s[in.Rd] = v
+				}
+			} else {
+				if byte_ {
+					b8, f := mem.LoadByte(addr)
+					if f != nil {
+						c.guestFaultAt(f, pc)
+						return exitNone
+					}
+					s[in.Rd] = uint32(b8)
+				} else {
+					v, f := mem.LoadWord(addr)
+					if f != nil {
+						c.guestFaultAt(f, pc)
+						return exitNone
+					}
+					s[in.Rd] = v
+				}
+			}
+			c.st.Loads++
+			native += cost.MemAccess
+
+		case arch.STR, arch.STRB, arch.STRR, arch.STRBR:
+			addr := s[in.Rn]
+			byte_ := in.Op == arch.STRB || in.Op == arch.STRBR
+			if in.Op == arch.STRR || in.Op == arch.STRBR {
+				addr += s[in.Rm]
+				irops++
+				native += cost.IROp
+			} else {
+				addr += uint32(in.Imm)
+			}
+			c.maybePreempt()
+			if c.m.topts.InstrumentStores {
+				var err error
+				if byte_ {
+					err = scheme.StoreB(c, addr, uint8(s[in.Rd]))
+				} else {
+					err = scheme.Store(c, addr, s[in.Rd])
+				}
+				if err != nil {
+					c.schemeFaultAt(err, pc)
+					return exitNone
+				}
+			} else {
+				var mf *mmu.Fault
+				if byte_ {
+					mf = mem.StoreByte(addr, uint8(s[in.Rd]))
+				} else {
+					mf = mem.StoreWord(addr, s[in.Rd])
+				}
+				if mf != nil {
+					c.guestFaultAt(mf, pc)
+					return exitNone
+				}
+				if tm != nil {
+					if byte_ {
+						tm.NotifyStore(addr &^ 3)
+					} else {
+						tm.NotifyStore(addr)
+					}
+				}
+			}
+			c.st.Stores++
+			native += cost.MemAccess
+
+		case arch.LDREX:
+			c.maybePreempt()
+			addr := s[in.Rn]
+			v, err := scheme.LL(c, addr)
+			if err != nil {
+				c.schemeFaultAt(err, pc)
+				return exitNone
+			}
+			s[in.Rd] = v
+			c.st.LLs++
+			c.ring.Emit(obs.EvLL, addr, 0)
+			native += cost.MemAccess
+		case arch.STREX:
+			c.maybePreempt()
+			addr := s[in.Rn]
+			c.lastSCAddr = addr
+			status, err := scheme.SC(c, addr, s[in.Rm])
+			if err != nil {
+				c.schemeFaultAt(err, pc)
+				return exitNone
+			}
+			if status == 0 {
+				c.ring.Emit(obs.EvSCOk, addr, 0)
+			}
+			s[in.Rd] = status
+			c.st.SCs++
+			c.st.SCFails += uint64(status)
+			native += cost.MemAccess
+		case arch.CLREX:
+			scheme.Clrex(c)
+			native += cost.IROp
+		case arch.DMB:
+			native += cost.IROp
+
+		case arch.B:
+			target := in.BranchTarget(pc)
+			if in.Cond == arch.AL {
+				c.pc = target
+				return exitTaken
+			}
+			native += cost.IROp
+			if c.flags.Test(in.Cond) {
+				c.pc = target
+				return exitTaken
+			}
+			c.pc = next
+			return exitFall
+		case arch.BL:
+			s[arch.LR] = next
+			irops++
+			native += cost.IROp
+			c.pc = in.BranchTarget(pc)
+			return exitTaken
+		case arch.BX:
+			c.pc = s[in.Rm]
+			native += cost.IROp
+			return exitNone
+		case arch.SVC:
+			c.pc = next
+			c.m.syscall(c, uint32(in.Imm))
+			return exitNone
+		case arch.HLT:
+			c.halted = true
+			return exitNone
+		case arch.NOP:
+			irops--
+		case arch.YIELD:
+			c.pc = next
+			runtime.Gosched()
+			return exitNone
+
+		default:
+			c.fail(fmt.Errorf("engine: tid %d: unhandled opcode %s at %#08x", c.tid, in.Op, pc))
+			return exitNone
+		}
+	}
+	// Cut short (limit clamp or truncated decode) without a block ender:
+	// continue at the next instruction, like a truncated IR block.
+	c.pc = d.Start + uint32(executed)*arch.InstrBytes
+	return exitTaken
+}

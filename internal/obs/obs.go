@@ -32,6 +32,8 @@ const (
 	EvWatchdogTrip      // SC watchdog tripped a stalled monitor (Addr = monitored address)
 	EvCheckpoint        // checkpoint captured (Arg = pages copied)
 	EvRestore           // checkpoint restored after a fault (Arg = snapshot sequence)
+	EvTierPromote       // block promoted from interp tier to optimized IR (Addr = block start, Arg = exec count)
+	EvChainLink         // chain link installed between two TBs (Addr = source block start, Arg = target pc)
 )
 
 var kindNames = [...]string{
@@ -48,6 +50,8 @@ var kindNames = [...]string{
 	EvWatchdogTrip: "watchdog_trip",
 	EvCheckpoint:   "checkpoint",
 	EvRestore:      "restore",
+	EvTierPromote:  "tier_promote",
+	EvChainLink:    "chain_link",
 }
 
 func (k Kind) String() string {

@@ -51,6 +51,12 @@ type JobConfig struct {
 	RecoveryAttempts int    `json:"recovery_attempts,omitempty"`
 	VirtualDeadline  uint64 `json:"virtual_deadline,omitempty"`
 	WatchdogSCFails  int64  `json:"watchdog_sc_fails,omitempty"`
+	// ChainBudget enables direct block chaining (max blocks per dispatch);
+	// 0 leaves it off. Tiered starts blocks in the interpreter and promotes
+	// at HotThreshold executions (0 takes the engine default threshold).
+	ChainBudget  int  `json:"chain_budget,omitempty"`
+	Tiered       bool `json:"tiered,omitempty"`
+	HotThreshold int  `json:"hot_threshold,omitempty"`
 }
 
 // FaultRule is the wire form of a faultinject.Rule.
@@ -231,6 +237,11 @@ func (s *Server) decode(req JobRequest) (*job, error) {
 	}
 	if req.Config.WatchdogSCFails != 0 {
 		cfg.WatchdogSCFails = req.Config.WatchdogSCFails
+	}
+	cfg.ChainBudget = req.Config.ChainBudget
+	cfg.Tiered = req.Config.Tiered
+	if req.Config.HotThreshold != 0 {
+		cfg.HotThreshold = req.Config.HotThreshold
 	}
 	if cfg.MaxGuestInstrs == 0 || cfg.MaxGuestInstrs > s.opts.MaxGuestInstrs {
 		cfg.MaxGuestInstrs = s.opts.MaxGuestInstrs

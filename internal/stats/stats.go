@@ -19,22 +19,26 @@ type Component uint8
 
 // Time components.
 const (
-	CompNative     Component = iota // basic emulation work
-	CompExclusive                   // start/end_exclusive and waiting on it
-	CompInstrument                  // store/LL/SC instrumentation
-	CompMProtect                    // protection syscalls and page faults
-	CompHTM                         // transaction begin/commit/abort
-	CompCheckpoint                  // checkpoint capture (off the guest-visible clock)
+	CompNative      Component = iota // basic emulation work
+	CompExclusive                    // start/end_exclusive and waiting on it
+	CompInstrument                   // store/LL/SC instrumentation
+	CompMProtect                     // protection syscalls and page faults
+	CompHTM                          // transaction begin/commit/abort
+	CompCheckpoint                   // checkpoint capture (off the guest-visible clock)
+	CompTBLookup                     // TB cache probes (local and shared tiers)
+	CompTBTranslate                  // decode→IR→optimize pipeline (incl. race-discarded losers)
 	NumComponents
 )
 
 var componentNames = [NumComponents]string{
-	CompNative:     "native",
-	CompExclusive:  "exclusive",
-	CompInstrument: "instrument",
-	CompMProtect:   "mprotect",
-	CompHTM:        "htm",
-	CompCheckpoint: "checkpoint",
+	CompNative:      "native",
+	CompExclusive:   "exclusive",
+	CompInstrument:  "instrument",
+	CompMProtect:    "mprotect",
+	CompHTM:         "htm",
+	CompCheckpoint:  "checkpoint",
+	CompTBLookup:    "tb_lookup",
+	CompTBTranslate: "tb_translate",
 }
 
 func (c Component) String() string {
@@ -83,6 +87,12 @@ type CPU struct {
 	TBSharedLookups uint64 // local-cache misses that consulted the shared TB cache
 	TBTranslations  uint64 // blocks this vCPU translated itself
 	TBRaceDiscards  uint64 // translations discarded after losing the publish race
+
+	// IR-bypass fast path (chaining + profile-gated tiering).
+	ChainLinks     uint64 // successor links installed between per-vCPU TBs
+	ChainFollows   uint64 // block transitions taken via a chain link (no dispatch loop)
+	TierPromotions uint64 // blocks promoted from the interp tier to optimized IR
+	InterpBlocks   uint64 // block executions served by the decoder-direct interp tier
 
 	// Virtual cycles by component.
 	Cycles [NumComponents]uint64

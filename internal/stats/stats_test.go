@@ -69,7 +69,7 @@ func fillSentinels(t *testing.T, c *CPU) int {
 func TestAddExhaustive(t *testing.T) {
 	var a CPU
 	slots := fillSentinels(t, &a)
-	if slots < 24+int(NumComponents) {
+	if slots < 28+int(NumComponents) {
 		t.Fatalf("only %d slots filled; reflection walk missed fields", slots)
 	}
 	b := a
@@ -109,6 +109,8 @@ func TestFields(t *testing.T) {
 		"sc_fails": 7, "htm_aborts": 9, "lls": 3,
 		"guest_instrs": 0, "ir_ops": 0, "scs": 0,
 		"tb_race_discards": 0, "htm_backoff_waits": 0,
+		"chain_links": 0, "chain_follows": 0,
+		"tier_promotions": 0, "interp_blocks": 0,
 	} {
 		v, ok := got[name]
 		if !ok {
@@ -171,6 +173,7 @@ func TestComponentString(t *testing.T) {
 	want := map[Component]string{
 		CompNative: "native", CompExclusive: "exclusive",
 		CompInstrument: "instrument", CompMProtect: "mprotect", CompHTM: "htm",
+		CompTBLookup: "tb_lookup", CompTBTranslate: "tb_translate",
 	}
 	for c, s := range want {
 		if c.String() != s {

@@ -1,0 +1,239 @@
+package translate
+
+import (
+	"fmt"
+	"testing"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/ir"
+)
+
+// decode is the Decode-side twin of the translate() helper.
+func decode(t *testing.T, src string, opts Options) *Decoded {
+	t.Helper()
+	im := mustAssemble(t, src)
+	d, err := Decode(fetchFrom(im), im.Org, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDecodeMatchesBlockBoundaries: the interp tier and the IR tier must
+// agree on where every basic block ends, or the two tiers would retire
+// different instruction streams for the same pc.
+func TestDecodeMatchesBlockBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opts Options
+	}{
+		{"straight-line", `
+    movi r0, #5
+    addi r1, r0, #3
+    hlt
+`, Options{}},
+		{"branch-ended", `
+    movi r0, #1
+    subsi r0, r0, #1
+    bne somewhere
+somewhere:
+    hlt
+`, Options{}},
+		{"capped", `
+    movi r0, #0
+    movi r1, #1
+    movi r2, #2
+    movi r3, #3
+    hlt
+`, Options{MaxGuestInstrs: 3}},
+		{"llsc", `
+    ldr r4, =cell
+    ldrex r1, [r4]
+    addi r1, r1, #1
+    strex r2, r1, [r4]
+    hlt
+.align 4
+cell: .word 0
+`, Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := translate(t, tc.src, tc.opts)
+			d := decode(t, tc.src, tc.opts)
+			if d.GuestLen != b.GuestLen {
+				t.Errorf("Decode ends the block after %d instructions, Block after %d",
+					d.GuestLen, b.GuestLen)
+			}
+			if len(d.Instrs) != d.GuestLen {
+				t.Errorf("GuestLen %d disagrees with %d decoded instructions",
+					d.GuestLen, len(d.Instrs))
+			}
+			if want := d.Start + uint32(d.GuestLen)*arch.InstrBytes; d.End() != want {
+				t.Errorf("End() = %#x, want %#x", d.End(), want)
+			}
+		})
+	}
+}
+
+// TestDecodeFetchFaultTruncates mirrors Block's fault contract: a fetch
+// fault mid-block truncates so the fault is taken precisely on re-entry at
+// End(); a fault on the very first instruction fails the decode.
+func TestDecodeFetchFaultTruncates(t *testing.T) {
+	im := mustAssemble(t, `
+    movi r0, #1
+    movi r1, #2
+    movi r2, #3
+    hlt
+`)
+	limit := im.Org + 2*arch.InstrBytes
+	fetch := func(pc uint32) (uint32, error) {
+		if pc >= limit {
+			return 0, fmt.Errorf("page not mapped at %#x", pc)
+		}
+		return fetchFrom(im)(pc)
+	}
+	d, err := Decode(fetch, im.Org, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GuestLen != 2 {
+		t.Errorf("GuestLen = %d, want 2 (truncated before the fault)", d.GuestLen)
+	}
+	if d.End() != limit {
+		t.Errorf("End() = %#x, want the faulting pc %#x", d.End(), limit)
+	}
+	if _, err := Decode(fetch, limit, Options{}); err == nil {
+		t.Error("decode starting at an unmapped pc must fail")
+	}
+}
+
+// countTerminators: ir.Verify enforces exactly one terminator; count here
+// so test failures say what went wrong instead of a generic verify error.
+func countTerminators(b *ir.Block) int {
+	n := 0
+	for _, in := range b.Ops {
+		if in.Op.IsTerminator() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSuperblockFollowsUnconditionalBranch: with FollowUncond a B AL does
+// not end the block — translation continues at the target, the branch
+// itself costs one guest instruction and emits no IR, and the region still
+// has exactly one terminator.
+func TestSuperblockFollowsUnconditionalBranch(t *testing.T) {
+	src := `
+    movi r0, #1
+    b tail
+dead:
+    movi r0, #99
+tail:
+    movi r1, #2
+    hlt
+`
+	plain := translate(t, src, Options{})
+	if plain.GuestLen != 2 {
+		t.Fatalf("without FollowUncond the B must end the block, GuestLen = %d", plain.GuestLen)
+	}
+	super := translate(t, src, Options{FollowUncond: true})
+	// movi + b + movi + hlt: four guest instructions, the skipped `dead`
+	// path contributes nothing.
+	if super.GuestLen != 4 {
+		t.Errorf("superblock GuestLen = %d, want 4", super.GuestLen)
+	}
+	if n := countTerminators(super); n != 1 {
+		t.Errorf("superblock has %d terminators, want exactly 1", n)
+	}
+	for _, in := range super.Ops {
+		if in.Imm == 99 {
+			t.Error("superblock translated the dead path the branch skips")
+		}
+	}
+}
+
+// TestSuperblockBLWritesLinkRegister: following a BL must still perform the
+// call's architectural side effect — lr gets the return address — via an
+// explicit MovI, since the branch itself is folded away.
+func TestSuperblockBLWritesLinkRegister(t *testing.T) {
+	src := `
+    movi r0, #5
+    bl fn
+fn:
+    addi r0, r0, #1
+    hlt
+`
+	b := translate(t, src, Options{FollowUncond: true})
+	if b.GuestLen != 4 {
+		t.Fatalf("GuestLen = %d, want 4", b.GuestLen)
+	}
+	wantLR := b.Start + 2*arch.InstrBytes // pc after the bl
+	found := false
+	for _, in := range b.Ops {
+		if in.Op == ir.MovI && in.D == ir.RegID(arch.LR) && in.Imm == wantLR {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no MovI lr, #%#x in the superblock:\n%s", wantLR, b)
+	}
+}
+
+// TestSuperblockLoopTerminates: each branch target is followed at most once
+// per region (the seen set is seeded with the block start), so a tight loop
+// or a mutual-recursion ping-pong ends the region with a normal terminator
+// instead of unrolling forever.
+func TestSuperblockLoopTerminates(t *testing.T) {
+	loop := translate(t, `
+loop:
+    addi r0, r0, #1
+    b loop
+`, Options{FollowUncond: true})
+	if loop.GuestLen != 2 {
+		t.Errorf("back edge to the region start must terminate: GuestLen = %d", loop.GuestLen)
+	}
+	if n := countTerminators(loop); n != 1 {
+		t.Errorf("loop region has %d terminators, want 1", n)
+	}
+
+	pingpong := translate(t, `
+ping:
+    addi r0, r0, #1
+    b pong
+pong:
+    addi r0, r0, #2
+    b ping
+`, Options{FollowUncond: true})
+	// ping(2 instrs) + pong followed once + the back edge to ping already
+	// seen → terminator. 2 + 2 = 4 guest instructions.
+	if pingpong.GuestLen != 4 {
+		t.Errorf("ping-pong region GuestLen = %d, want 4", pingpong.GuestLen)
+	}
+}
+
+// TestSuperblockRespectsCap: a chain of unconditional branches stops
+// growing at MaxGuestInstrs even though every target is fresh.
+func TestSuperblockRespectsCap(t *testing.T) {
+	src := `
+    movi r0, #0
+    b hop1
+hop1:
+    movi r1, #1
+    b hop2
+hop2:
+    movi r2, #2
+    b hop3
+hop3:
+    movi r3, #3
+    hlt
+`
+	b := translate(t, src, Options{FollowUncond: true, MaxGuestInstrs: 5})
+	if b.GuestLen > 5 {
+		t.Errorf("GuestLen = %d exceeds the cap of 5", b.GuestLen)
+	}
+	if n := countTerminators(b); n != 1 {
+		t.Errorf("capped superblock has %d terminators, want 1", n)
+	}
+}

@@ -28,10 +28,32 @@ type Options struct {
 	// FuseAtomics enables rule-based translation (paper §VI): recognized
 	// compiler-shaped LL/SC retry loops become single fused host atomics.
 	FuseAtomics bool
+	// FollowUncond forms superblocks: translation continues across
+	// unconditional branches (B AL, BL) instead of ending the block, so a
+	// hot region spanning several basic blocks becomes one IR block for
+	// the optimizer. Each branch target is followed at most once per
+	// block, so loops still terminate the region.
+	FollowUncond bool
 }
+
+// Mode selects the execution tier a block is prepared for.
+type Mode uint8
+
+const (
+	// IR is the full decode→IR→optimize pipeline.
+	IR Mode = iota
+	// Interp interprets straight off the decoder: no IR is built and the
+	// optimizer never runs. Used for cold blocks under profile-gated
+	// tiering; promotion to IR happens once the block proves hot.
+	Interp
+)
 
 // DefaultMaxGuestInstrs is the block cap when Options.MaxGuestInstrs is 0.
 const DefaultMaxGuestInstrs = 32
+
+// DefaultSuperblockInstrs is the instruction cap used when re-translating
+// a hot block with FollowUncond: four plain blocks' worth of room.
+const DefaultSuperblockInstrs = 4 * DefaultMaxGuestInstrs
 
 // FetchFunc reads one guest instruction word, typically mmu.Memory.FetchWord
 // wrapped to return error.
@@ -45,6 +67,10 @@ func Block(fetch FetchFunc, pc uint32, opts Options) (*ir.Block, error) {
 	}
 	b := ir.NewBlock(pc)
 	cur := pc
+	var seen map[uint32]bool
+	if opts.FollowUncond {
+		seen = map[uint32]bool{pc: true}
+	}
 	for n := 0; n < maxInstrs; {
 		word, err := fetch(cur)
 		if err != nil {
@@ -67,6 +93,24 @@ func Block(fetch FetchFunc, pc uint32, opts Options) (*ir.Block, error) {
 				n += consumed
 				b.GuestLen = n
 				cur += uint32(consumed) * arch.InstrBytes
+				continue
+			}
+		}
+		if opts.FollowUncond && n+1 < maxInstrs &&
+			(in.Op == arch.BL || (in.Op == arch.B && in.Cond == arch.AL)) {
+			if target := in.BranchTarget(cur); !seen[target] {
+				// Superblock formation: fold the unconditional branch into
+				// the block and keep translating at its target. Each target
+				// is followed once, so a loop back edge ends the region via
+				// the normal terminator path below.
+				seen[target] = true
+				if in.Op == arch.BL {
+					b.Emit(ir.Inst{Op: ir.MovI, D: ir.RegID(arch.LR),
+						Imm: cur + arch.InstrBytes, GuestPC: cur})
+				}
+				n++
+				b.GuestLen = n
+				cur = target
 				continue
 			}
 		}
