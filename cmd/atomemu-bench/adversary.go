@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"atomemu/internal/adversary"
+)
+
+type advConfig struct {
+	Seed        uint64
+	Runs        int
+	MaxSteps    uint64
+	Targets     []string
+	IncludeFree bool
+	OutDir      string
+	Require     string
+	Quiet       bool
+}
+
+// runAdversary drives the adversarial interleaving search and reports it.
+// Exit status doubles as the CI gate: any unexpected finding fails the
+// command, and -require strict-livelock additionally fails it when the
+// search did not rediscover the paper's fig. 11 HTM livelock.
+func runAdversary(c advConfig) error {
+	var logw io.Writer
+	if !c.Quiet {
+		logw = os.Stderr
+	}
+	rep, err := adversary.Search(adversary.Options{
+		Seed:        c.Seed,
+		Runs:        c.Runs,
+		MaxSteps:    c.MaxSteps,
+		Targets:     c.Targets,
+		IncludeFree: c.IncludeFree,
+		Log:         logw,
+	})
+	if err != nil {
+		return err
+	}
+
+	classes := map[string]int{}
+	for _, rec := range rep.Records {
+		classes[rec.Outcome.Class.String()]++
+	}
+	fmt.Printf("Adversary search — seed=%d runs=%d coverage=%d known-livelocks=%d findings=%d\n",
+		rep.Seed, len(rep.Records), rep.Coverage, rep.KnownLivelocks, len(rep.Findings))
+	fmt.Printf("  outcome classes: ")
+	for _, cl := range []string{"ok", "oracle", "livelock", "watchdog", "deadlock", "guest-fault", "wedge", "error"} {
+		if n := classes[cl]; n > 0 {
+			fmt.Printf("%s=%d ", cl, n)
+		}
+	}
+	fmt.Println()
+	for i, f := range rep.Findings {
+		fmt.Printf("  FINDING %d: %s\n    %s\n    err=%q oracle=%q\n",
+			i, f.Scenario.ID(), f.Why, f.Outcome.Err, f.Outcome.OracleErr)
+		if f.Minimized != nil {
+			fmt.Printf("    minimized: %s (trace %016x)\n", f.Minimized.ID(), f.MinOutcome.TraceHash)
+		}
+	}
+
+	if c.OutDir != "" {
+		if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+			return err
+		}
+		csvPath := filepath.Join(c.OutDir, "adversary.csv")
+		fcsv, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteCSV(fcsv); err != nil {
+			fcsv.Close()
+			return err
+		}
+		if err := fcsv.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+		if len(rep.Findings) > 0 {
+			reproDir := filepath.Join(c.OutDir, "repros")
+			if err := os.MkdirAll(reproDir, 0o755); err != nil {
+				return err
+			}
+			for i, f := range rep.Findings {
+				if f.Minimized == nil {
+					continue
+				}
+				r, err := adversary.NewRepro(*f.Minimized, f.MinOutcome, f.Why)
+				if err != nil {
+					return err
+				}
+				path := filepath.Join(reproDir, fmt.Sprintf("finding-%02d.json", i))
+				if err := r.WriteFile(path); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+
+	switch c.Require {
+	case "":
+	case "strict-livelock":
+		if rep.KnownLivelocks == 0 {
+			return fmt.Errorf("adversary: -require strict-livelock: the search did not rediscover the fig. 11 HTM livelock")
+		}
+	default:
+		return fmt.Errorf("adversary: unknown -require property %q (want strict-livelock)", c.Require)
+	}
+	if len(rep.Findings) > 0 {
+		return fmt.Errorf("adversary: %d unexpected finding(s); minimized repros written under %s",
+			len(rep.Findings), filepath.Join(c.OutDir, "repros"))
+	}
+	return nil
+}

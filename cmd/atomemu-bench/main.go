@@ -14,9 +14,16 @@
 //	                           on; -out DIR also writes Chrome trace JSON
 //	atomemu-bench soak         multi-tenant daemon soak: concurrent clients,
 //	                           fault injection, breaker/shed/drain accounting
+//	atomemu-bench adversary    seed-driven adversarial interleaving search over
+//	                           the lock-free workloads; -out DIR writes the run
+//	                           CSV and minimized repros; exits nonzero on any
+//	                           unexpected oracle violation
 //	atomemu-bench all          everything above
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
+// Seed-driven experiments (adversary, soak, resilience) share the single
+// -seed flag and record it in their CSV headers ("# seed=N") so any row
+// can be replayed.
 package main
 
 import (
@@ -53,9 +60,14 @@ func run(args []string) error {
 	soakJobs := fs.Int("soak-jobs", 12, "jobs per client for the soak run")
 	soakWorkers := fs.Int("soak-workers", 4, "daemon workers for the soak run")
 	soakQueue := fs.Int("soak-queue", 4, "daemon queue depth for the soak run")
-	soakSeed := fs.Int64("soak-seed", 1, "job-mix seed for the soak run")
+	seed := fs.Uint64("seed", 1, "experiment seed (adversary, soak, resilience); recorded in CSV headers")
+	advRuns := fs.Int("runs", 40, "scenario budget for the adversary search")
+	advMaxSteps := fs.Uint64("max-steps", 0, "per-scenario step budget for the adversary search (0 = default)")
+	advTargets := fs.String("targets", "", "comma-separated workload targets for the adversary search (default: all)")
+	advFree := fs.Bool("free", false, "let the adversary search explore free-running mode too")
+	require := fs.String("require", "", "fail the adversary search unless a property held (strict-livelock)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -178,7 +190,7 @@ func run(args []string) error {
 			return saveCSV("contention.csv", c.CSV)
 		},
 		"resilience": func() error {
-			r, err := harness.RunResilience(*stackThreads, *stackOps, uint32(*stackNodes), progress)
+			r, err := harness.RunResilience(*stackThreads, *stackOps, uint32(*stackNodes), *seed, progress)
 			if err != nil {
 				return err
 			}
@@ -196,7 +208,7 @@ func run(args []string) error {
 		"soak": func() error {
 			r, err := harness.RunSoak(harness.SoakOptions{
 				Clients: *soakClients, JobsPerClient: *soakJobs,
-				Workers: *soakWorkers, QueueDepth: *soakQueue, Seed: *soakSeed,
+				Workers: *soakWorkers, QueueDepth: *soakQueue, Seed: int64(*seed),
 			}, progress)
 			if err != nil {
 				return err
@@ -204,10 +216,22 @@ func run(args []string) error {
 			r.Render(os.Stdout)
 			return saveCSV("soak.csv", r.CSV)
 		},
+		"adversary": func() error {
+			return runAdversary(advConfig{
+				Seed:        *seed,
+				Runs:        *advRuns,
+				MaxSteps:    *advMaxSteps,
+				Targets:     splitList(*advTargets),
+				IncludeFree: *advFree,
+				OutDir:      *outDir,
+				Require:     *require,
+				Quiet:       *quiet,
+			})
+		},
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience", "trace", "soak"} {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience", "trace", "soak", "adversary"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -221,6 +245,19 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", cmd)
 	}
 	return exp()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -68,6 +68,9 @@ type CPU struct {
 	wdFails    uint64
 	wdStalled  uint64
 	lastSCAddr uint32
+	// stepWd counts Step calls toward the next step-mode watchdog sample
+	// (the goroutine run loop keeps its own block-cadence counter).
+	stepWd int
 
 	// blocked and joinParked belong to the guest-deadlock detector and the
 	// checkpoint layer; both are guarded by Machine.parkMu. blocked marks
@@ -208,7 +211,8 @@ func (c *CPU) finish() {
 		m.runningCPUs.Add(-1)
 	}
 	c.haltedFlag.Store(true)
-	m.parked -= c.joinParked
+	jp := c.joinParked
+	m.parked -= jp
 	c.joinParked = 0
 	// This exit may strand the remaining vCPUs: with one fewer runner,
 	// "every live vCPU is parked" may hold now.
@@ -216,6 +220,14 @@ func (c *CPU) finish() {
 	m.parkMu.Unlock()
 	if derr != nil {
 		m.stop(derr)
+	}
+	// Closing done below is the wake this vCPU owes its joiners; tell the
+	// external scheduler (when there is one) before delivering it, same as
+	// noteWake.
+	if jp > 0 {
+		if h := m.cfg.SchedHook; h != nil {
+			h.Woken(jp)
+		}
 	}
 	if c.mon.Txn != nil && !c.mon.Txn.Done() {
 		c.mon.Txn.AbortNow(htm.ReasonSyscall)
@@ -390,6 +402,12 @@ func (c *CPU) yieldGap() int {
 
 // Step executes one translation block in step mode (one guest instruction,
 // since step mode caps blocks at 1). It returns false once the vCPU halted.
+//
+// The loop-level services that the goroutine run loop provides — the
+// progress watchdog and the virtual deadline — run here too, at the same
+// block cadence, so a step-mode SC-failure storm (a stuck hash lock, an
+// injected abort schedule) trips the watchdog instead of spinning the
+// caller forever.
 func (c *CPU) Step() (bool, error) {
 	if c.halted {
 		return false, c.err
@@ -399,6 +417,15 @@ func (c *CPU) Step() (bool, error) {
 	c.witnessStalls()
 	c.stepOnce()
 	e.execEnd(c)
+	if !c.halted {
+		if dl := c.m.cfg.VirtualDeadline; dl > 0 && c.clock.Load() > dl {
+			c.m.stop(&DeadlineError{TID: c.tid, Deadline: dl, Clock: c.clock.Load()})
+		}
+		if c.stepWd++; c.stepWd >= watchdogEvery {
+			c.stepWd = 0
+			c.watchdogCheck()
+		}
+	}
 	if c.halted {
 		c.finish()
 	}

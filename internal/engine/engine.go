@@ -168,6 +168,29 @@ type Config struct {
 	// FaultInjector, when set, is threaded through the TM, the hash table
 	// and the MMU for deterministic failure testing.
 	FaultInjector *faultinject.Injector
+	// SchedHook, when set, observes vCPU blocking transitions so an
+	// external step-mode scheduler (internal/adversary) can drive the
+	// machine without timeouts or polling. See the SchedHook type.
+	SchedHook SchedHook
+}
+
+// SchedHook receives vCPU park/wake notifications for an external
+// deterministic scheduler. A step-mode machine is driven one vCPU at a
+// time through CPU.Step, but blocking guest syscalls (futex, barrier,
+// join) do not return until another vCPU delivers a wake — the scheduler
+// must know when the vCPU it is stepping has parked (its Step call will
+// not return) and how many parked vCPUs a wake is about to release
+// (their pending Step calls will now return).
+//
+// Parked runs on the parking vCPU's goroutine after the park is
+// registered, before it sleeps. Woken runs on the waking vCPU's
+// goroutine before the wakes are delivered, possibly under machine
+// locks: implementations must not call back into the Machine, and may
+// only block on a peer that is guaranteed to be receiving (a channel
+// hand-off to the scheduler loop).
+type SchedHook interface {
+	Parked(tid uint32)
+	Woken(n int)
 }
 
 // DefaultConfig returns a ready-to-use configuration for the given scheme.
@@ -513,6 +536,16 @@ func (m *Machine) stop(err error) {
 	}
 	m.barMu.Unlock()
 }
+
+// Stopped reports whether the machine has fatally stopped (Err can still
+// be nil: a clean exit_group also stops the machine).
+func (m *Machine) Stopped() bool { return m.stopped.Load() }
+
+// Interrupt stops the machine as if a fatal error had occurred, waking
+// any vCPUs parked in blocking guest syscalls so their pending Step
+// calls return. External steppers use it to abandon a wedged step-mode
+// run; outside step mode, cancelling RunContext is the supported path.
+func (m *Machine) Interrupt(err error) { m.stop(err) }
 
 // Err returns the first fatal error, if any.
 func (m *Machine) Err() error {

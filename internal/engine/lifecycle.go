@@ -169,6 +169,9 @@ func (m *Machine) notePark(c *CPU, mark blockedMark) {
 	if derr != nil {
 		m.stop(derr)
 	}
+	if h := m.cfg.SchedHook; h != nil {
+		h.Parked(c.tid)
+	}
 }
 
 // noteWake is the waker-side decrement: n parked vCPUs are about to receive
@@ -181,6 +184,9 @@ func (m *Machine) noteWake(n int) {
 	m.parkMu.Lock()
 	m.parked -= n
 	m.parkMu.Unlock()
+	if h := m.cfg.SchedHook; h != nil {
+		h.Woken(n)
+	}
 }
 
 // noteResume clears c's blocked marker once it is back inside its execution

@@ -120,15 +120,22 @@ func (m *Machine) sysJoin(c *CPU, tid uint32) uint32 {
 	// done.
 	m.parkMu.Lock()
 	var derr error
+	parked := false
 	if !target.haltedFlag.Load() {
 		c.blocked = blockedMark{active: true, kind: "join", syscall: SysJoin, addr: tid}
 		target.joinParked++
 		m.parked++
+		parked = true
 		derr = m.deadlockedLocked()
 	}
 	m.parkMu.Unlock()
 	if derr != nil {
 		m.stop(derr)
+	}
+	if parked {
+		if h := m.cfg.SchedHook; h != nil {
+			h.Parked(c.tid)
+		}
 	}
 	m.excl.execEnd(c)
 	// Also watch the stop broadcast: in a join cycle the target's done can

@@ -16,7 +16,10 @@
 // injects nothing, so production paths pay one nil check.
 package faultinject
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Op identifies an instrumented operation site.
 type Op uint8
@@ -56,6 +59,18 @@ func (o Op) String() string {
 	return "unknown"
 }
 
+// ParseOp resolves an operation-site name (the Op.String form) back to
+// its Op. It is the single source of truth for external rule encodings
+// (the job service's JSON fault rules, the adversary's repro files).
+func ParseOp(s string) (Op, error) {
+	for _, o := range []Op{OpTxnBegin, OpTxnCommit, OpHashUnlock, OpMemLoad, OpMemStore} {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown op %q (want txn-begin, txn-commit, hash-unlock, mem-load or mem-store)", s)
+}
+
 // Action is what an instrumented site should do when a rule fires.
 type Action uint8
 
@@ -71,6 +86,35 @@ const (
 	// ActFault forces a memory protection fault (mmu sites).
 	ActFault
 )
+
+// String returns the action name for diagnostics and external encodings.
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActAbort:
+		return "abort"
+	case ActPoison:
+		return "poison"
+	case ActStickLock:
+		return "stick-lock"
+	case ActFault:
+		return "fault"
+	}
+	return "unknown"
+}
+
+// ParseAction resolves an action name (the Action.String form) back to
+// its Action. ActNone is not accepted: an external rule that injects
+// nothing is a mistake, not a request.
+func ParseAction(s string) (Action, error) {
+	for _, a := range []Action{ActAbort, ActPoison, ActStickLock, ActFault} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown action %q (want abort, poison, stick-lock or fault)", s)
+}
 
 // Rule describes one deterministic fault. The zero value of a filter
 // field means "match anything".
@@ -88,6 +132,62 @@ type Rule struct {
 	After uint64
 	// Count bounds how many times the rule fires; 0 means no bound.
 	Count uint64
+}
+
+// actionsFor is the op/action compatibility matrix: which injections an
+// instrumented site actually honours. An incompatible pair parses but
+// can never fire usefully — Validate turns that silent no-op into an
+// upfront error.
+func actionsFor(op Op) []Action {
+	switch op {
+	case OpTxnBegin:
+		return []Action{ActAbort}
+	case OpTxnCommit:
+		return []Action{ActAbort, ActPoison}
+	case OpHashUnlock:
+		return []Action{ActStickLock}
+	case OpMemLoad, OpMemStore:
+		return []Action{ActFault}
+	}
+	return nil
+}
+
+// Validate rejects rules whose action the op site does not honour, and
+// rules on MMU sites scoped to a TID (the MMU has no vCPU identity, so
+// such a rule would never match).
+func (r Rule) Validate() error {
+	ok := false
+	for _, a := range actionsFor(r.Op) {
+		if a == r.Action {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("faultinject: action %q is not injectable at op %q", r.Action, r.Op)
+	}
+	if (r.Op == OpMemLoad || r.Op == OpMemStore) && r.TID != 0 {
+		return fmt.Errorf("faultinject: op %q cannot be scoped to a tid (MMU sites match any vCPU)", r.Op)
+	}
+	return nil
+}
+
+// String renders the rule compactly for CSV rows and repro notes.
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s:%s", r.Op, r.Action)
+	if r.TID != 0 {
+		s += fmt.Sprintf(":t%d", r.TID)
+	}
+	if r.Addr != 0 {
+		s += fmt.Sprintf(":a%#x", r.Addr)
+	}
+	if r.After != 0 {
+		s += fmt.Sprintf(":+%d", r.After)
+	}
+	if r.Count != 0 {
+		s += fmt.Sprintf(":x%d", r.Count)
+	}
+	return s
 }
 
 type ruleState struct {
@@ -152,4 +252,25 @@ func (in *Injector) Fired() uint64 {
 		n += r.fired.Load()
 	}
 	return n
+}
+
+// RuleStat reports one rule's observation and injection counts.
+type RuleStat struct {
+	Rule  Rule
+	Seen  uint64 // matching operations observed
+	Fired uint64 // faults actually injected
+}
+
+// RuleStats returns per-rule counts in registration order. The adversary
+// uses them as coverage feedback: a rule that never fired explored
+// nothing and is a candidate for removal or retargeting.
+func (in *Injector) RuleStats() []RuleStat {
+	if in == nil {
+		return nil
+	}
+	out := make([]RuleStat, 0, len(in.rules))
+	for _, r := range in.rules {
+		out = append(out, RuleStat{Rule: r.Rule, Seen: r.seen.Load(), Fired: r.fired.Load()})
+	}
+	return out
 }

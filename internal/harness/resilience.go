@@ -53,7 +53,10 @@ type Resilience struct {
 	Threads int
 	Ops     uint64
 	Nodes   uint32
-	Rows    []ResilienceRow
+	// Seed is the backoff-jitter seed threaded into every run's
+	// Config.ResilienceSeed, recorded so a CSV row can be replayed.
+	Seed uint64
+	Rows []ResilienceRow
 }
 
 // ResilienceSchemes are the HTM-backed schemes the resilience layer covers.
@@ -62,7 +65,8 @@ func ResilienceSchemes() []string { return []string{"pico-htm", "hst-htm"} }
 // RunResilience executes the experiment. threads <= 0 defaults to 16 (the
 // paper's stack experiment size, beyond PICO-HTM's 8-thread livelock
 // limit); totalOps <= 0 defaults to 1<<16 pairs; nodes <= 0 to 4096.
-func RunResilience(threads int, totalOps uint64, nodes uint32, progress Progress) (*Resilience, error) {
+// seed drives the deterministic backoff jitter (Config.ResilienceSeed).
+func RunResilience(threads int, totalOps uint64, nodes uint32, seed uint64, progress Progress) (*Resilience, error) {
 	if progress == nil {
 		progress = noProgress
 	}
@@ -75,12 +79,13 @@ func RunResilience(threads int, totalOps uint64, nodes uint32, progress Progress
 	if nodes == 0 {
 		nodes = 4096
 	}
-	exp := &Resilience{Threads: threads, Ops: totalOps, Nodes: nodes}
+	exp := &Resilience{Threads: threads, Ops: totalOps, Nodes: nodes, Seed: seed}
 	for _, scheme := range ResilienceSchemes() {
 		for _, strict := range []bool{true, false} {
 			cfg := engine.DefaultConfig(scheme)
 			cfg.MaxGuestInstrs = 4_000_000_000
 			cfg.StrictPaper = strict
+			cfg.ResilienceSeed = seed
 			run, err := runStack(cfg, threads, totalOps, nodes)
 			if err != nil {
 				return nil, fmt.Errorf("harness: resilience %s strict=%v: %w", scheme, strict, err)
@@ -113,6 +118,7 @@ func RunResilience(threads int, totalOps uint64, nodes uint32, progress Progress
 		cfg := engine.DefaultConfig(scheme)
 		cfg.MaxGuestInstrs = 4_000_000_000
 		cfg.StrictPaper = false
+		cfg.ResilienceSeed = seed
 		// Each push/pop pair performs ~2 guest stores and ~450 virtual
 		// cycles, so a fault after `pairs` stores lands mid-run and the
 		// checkpoint cadence of pairs*10 cycles guarantees several cuts
@@ -177,6 +183,7 @@ func (exp *Resilience) Render(w io.Writer) {
 
 // CSV writes rows: scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,checkpoints,restores,corrupt_pct,virtual_time.
 func (exp *Resilience) CSV(w io.Writer) {
+	fmt.Fprintf(w, "# seed=%d\n", exp.Seed)
 	fmt.Fprintln(w, "scheme,mode,threads,crashed,retries,backoff_waits,fallbacks,watchdog_trips,checkpoints,restores,corrupt_pct,virtual_time")
 	for _, r := range exp.Rows {
 		fmt.Fprintf(w, "%s,%s,%d,%v,%d,%d,%d,%d,%d,%d,%.4f,%d\n",

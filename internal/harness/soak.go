@@ -392,6 +392,7 @@ func (exp *Soak) Render(w io.Writer) {
 // CSV writes per-client rows plus a totals row:
 // client,submitted,shed,retried,dropped,completed,failed,canceled,recovered,demoted,breaker_trips,panics,drain_clean.
 func (exp *Soak) CSV(w io.Writer) {
+	fmt.Fprintf(w, "# seed=%d\n", exp.Opts.Seed)
 	fmt.Fprintln(w, "client,submitted,shed,retried,dropped,completed,failed,canceled,recovered,demoted,breaker_trips,panics,drain_clean")
 	rows := append([]SoakRow(nil), exp.Rows...)
 	rows = append(rows, exp.Totals())

@@ -1,0 +1,68 @@
+package litmus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"atomemu/internal/adversary"
+)
+
+// Auto-minimized adversary regressions. Each file under testdata/repros is
+// a self-contained adversary.Repro: a normalized step-mode scenario plus
+// the outcome class, oracle verdict and trace hash it must replay to,
+// byte-for-byte, from its recorded seed. The committed set pins known
+// behaviours — the paper's fig. 11 strict-mode HTM livelock, ABA loss
+// under pico-cas, watchdog conversion of a stuck hash-entry lock — so any
+// engine change that silently shifts one of them fails loudly here.
+//
+// New repros come from the search ("atomemu-bench adversary" writes its
+// minimized findings as repro JSON); committing one is just copying the
+// file into testdata/repros.
+
+// ReproResult is one replayed regression.
+type ReproResult struct {
+	File  string
+	Note  string
+	Class string
+	Err   error // nil when the replay matched every expectation
+}
+
+// ReplayRepros loads every *.json repro under dir and replays it. The
+// returned slice has one entry per file, in name order; a missing or
+// empty directory yields an empty slice and no error.
+func ReplayRepros(dir string) ([]ReproResult, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	out := make([]ReproResult, 0, len(files))
+	for _, name := range files {
+		path := filepath.Join(dir, name)
+		res := ReproResult{File: name}
+		r, err := adversary.LoadRepro(path)
+		if err != nil {
+			res.Err = fmt.Errorf("load: %w", err)
+			out = append(out, res)
+			continue
+		}
+		res.Note = r.Note
+		res.Class = r.Expect.Class
+		if _, err := r.Replay(); err != nil {
+			res.Err = err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

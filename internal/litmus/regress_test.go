@@ -1,0 +1,27 @@
+package litmus
+
+import "testing"
+
+// TestAdversaryRepros replays every committed minimized repro: the same
+// scenario, driven from the same seed, must reproduce the same outcome
+// class, oracle verdict and trace hash. A divergence means either a real
+// behaviour change in the emulation schemes or lost determinism in the
+// step-mode scheduler — both are regressions.
+func TestAdversaryRepros(t *testing.T) {
+	results, err := ReplayRepros("testdata/repros")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 3 {
+		t.Fatalf("only %d committed repros found, want at least the livelock, ABA and stuck-lock pins", len(results))
+	}
+	for _, res := range results {
+		res := res
+		t.Run(res.File, func(t *testing.T) {
+			t.Parallel()
+			if res.Err != nil {
+				t.Fatalf("%s (%s): %v", res.File, res.Note, res.Err)
+			}
+		})
+	}
+}

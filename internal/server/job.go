@@ -69,35 +69,29 @@ type FaultRule struct {
 	Count  uint64 `json:"count,omitempty"`
 }
 
-func (r FaultRule) rule() (faultinject.Rule, error) {
-	out := faultinject.Rule{TID: r.TID, Addr: r.Addr, After: r.After, Count: r.Count}
-	switch r.Op {
-	case "txn-begin":
-		out.Op = faultinject.OpTxnBegin
-	case "txn-commit":
-		out.Op = faultinject.OpTxnCommit
-	case "hash-unlock":
-		out.Op = faultinject.OpHashUnlock
-	case "mem-load":
-		out.Op = faultinject.OpMemLoad
-	case "mem-store":
-		out.Op = faultinject.OpMemStore
-	default:
-		return out, fmt.Errorf("unknown fault op %q", r.Op)
+// rule resolves the wire form through faultinject's canonical parsers and
+// the op/action compatibility matrix, so the server rejects exactly what
+// the injector would ignore. field names the offending JSON field ("op",
+// "action", "tid") when the error is attributable to one; it is empty for
+// whole-rule errors.
+func (r FaultRule) rule() (faultinject.Rule, string, error) {
+	op, err := faultinject.ParseOp(r.Op)
+	if err != nil {
+		return faultinject.Rule{}, "op", err
 	}
-	switch r.Action {
-	case "abort":
-		out.Action = faultinject.ActAbort
-	case "poison":
-		out.Action = faultinject.ActPoison
-	case "stick-lock":
-		out.Action = faultinject.ActStickLock
-	case "fault":
-		out.Action = faultinject.ActFault
-	default:
-		return out, fmt.Errorf("unknown fault action %q", r.Action)
+	act, err := faultinject.ParseAction(r.Action)
+	if err != nil {
+		return faultinject.Rule{}, "action", err
 	}
-	return out, nil
+	out := faultinject.Rule{Op: op, Action: act, TID: r.TID, Addr: r.Addr, After: r.After, Count: r.Count}
+	if err := out.Validate(); err != nil {
+		field := ""
+		if (op == faultinject.OpMemLoad || op == faultinject.OpMemStore) && r.TID != 0 {
+			field = "tid"
+		}
+		return out, field, err
+	}
+	return out, "", nil
 }
 
 // JobState is a job's lifecycle position. Terminal states: done, failed,
@@ -210,10 +204,16 @@ func (s *Server) decode(req JobRequest) (*job, error) {
 	var inj *faultinject.Injector
 	if len(req.Fault) > 0 {
 		rules := make([]faultinject.Rule, 0, len(req.Fault))
-		for _, fr := range req.Fault {
-			r, rerr := fr.rule()
+		for i, fr := range req.Fault {
+			r, field, rerr := fr.rule()
 			if rerr != nil {
-				return nil, rerr
+				// Name the offending field so a client can fix its request
+				// without grepping server source: fault[2].action, not just
+				// "unknown action".
+				if field != "" {
+					return nil, fmt.Errorf("fault[%d].%s: %w", i, field, rerr)
+				}
+				return nil, fmt.Errorf("fault[%d]: %w", i, rerr)
 			}
 			rules = append(rules, r)
 		}

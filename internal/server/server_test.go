@@ -159,6 +159,48 @@ func TestAdmissionRejectsBadRequests(t *testing.T) {
 	}
 }
 
+func TestAdmissionRejectsBadFaultRules(t *testing.T) {
+	// Every malformed fault-rule kind must be rejected at admission (400)
+	// with an error naming the offending field, before the job is queued.
+	s := newTestServer(t, Options{Workers: 1, AllowFaultInjection: true})
+	cases := []struct {
+		name  string
+		rule  FaultRule
+		want  string
+	}{
+		{"unknown op", FaultRule{Op: "txn-retire", Action: "abort"}, "fault[0].op"},
+		{"unknown action", FaultRule{Op: "txn-commit", Action: "explode"}, "fault[0].action"},
+		{"empty op", FaultRule{Action: "abort"}, "fault[0].op"},
+		{"action none spelled out", FaultRule{Op: "txn-commit", Action: "none"}, "fault[0].action"},
+		{"incompatible pair", FaultRule{Op: "hash-unlock", Action: "abort"}, "fault[0]"},
+		{"mmu site with tid", FaultRule{Op: "mem-load", Action: "fault", TID: 3}, "fault[0].tid"},
+	}
+	for _, tc := range cases {
+		_, err := s.Submit(JobRequest{Scheme: "hst", GAC: counterGAC, Fault: []FaultRule{tc.rule}})
+		se, ok := err.(*SubmitError)
+		if !ok || se.Status != http.StatusBadRequest || !strings.Contains(se.Msg, tc.want) {
+			t.Errorf("%s: err = %v, want 400 naming %q", tc.name, err, tc.want)
+		}
+	}
+
+	// The index in the error tracks the offending rule, not just rule 0.
+	_, err := s.Submit(JobRequest{Scheme: "hst", GAC: counterGAC, Fault: []FaultRule{
+		{Op: "txn-commit", Action: "abort"},
+		{Op: "bogus", Action: "abort"},
+	}})
+	se, ok := err.(*SubmitError)
+	if !ok || se.Status != http.StatusBadRequest || !strings.Contains(se.Msg, "fault[1].op") {
+		t.Errorf("second-rule error = %v, want 400 naming fault[1].op", err)
+	}
+
+	// A well-formed rule still passes admission.
+	if _, err := s.Submit(JobRequest{Scheme: "hst", GAC: counterGAC, Fault: []FaultRule{
+		{Op: "txn-commit", Action: "poison", After: 10, Count: 2},
+	}}); err != nil {
+		t.Errorf("valid fault rule rejected: %v", err)
+	}
+}
+
 func TestQueueOverflowSheds(t *testing.T) {
 	s := newTestServer(t, Options{Workers: 1, QueueDepth: 1, DrainGrace: 50 * time.Millisecond})
 	var accepted, shed int
