@@ -1,0 +1,463 @@
+package main
+
+// crashsoak is the durability proof: a real atomemud-style daemon (this
+// binary re-executed in crashsoak-serve mode) is SIGKILLed mid-burst
+// several times over one data directory. After each kill the parent
+// restarts it, re-submits every idempotency key, and finally asserts the
+// durability contract:
+//
+//   - no accepted job is lost — every acknowledged id is terminal "done"
+//     on the final daemon;
+//   - no idempotent submit is duplicated — a key answers the same job id
+//     across every restart;
+//   - recovery changes no results — every job's output is byte-identical
+//     to an uninterrupted in-process engine run of the same program;
+//   - at least one job resumed from an on-disk checkpoint, and replay
+//     skipped no corrupt records.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"atomemu/internal/engine"
+	"atomemu/internal/gac"
+	"atomemu/internal/server"
+)
+
+// crashsoakGAC prints a milestone after every outer loop of 1000 atomic
+// increments, so a resumed run that lost or repeated work is visible in the
+// output sequence, not just the final value.
+const crashsoakGAC = `
+var total;
+func main(n) {
+    var outer = 0;
+    var i = 0;
+    while (outer < n) {
+        i = 0;
+        while (i < 1000) {
+            atomic_add(&total, 1);
+            i = i + 1;
+        }
+        outer = outer + 1;
+        print(total);
+    }
+    exit(0);
+}
+`
+
+type crashsoakConfig struct {
+	Cycles  int // SIGKILL cycles before the final run to completion
+	Jobs    int
+	Workers int
+	Queue   int
+	Scale   float64
+	OutDir  string
+	Quiet   bool
+}
+
+// crashsoakArg sizes job i so a kill lands mid-run at the default scale.
+func crashsoakArg(scale float64, i int) uint32 {
+	n := int(float64(600+100*i) * scale)
+	if n < 8 {
+		n = 8
+	}
+	return uint32(n)
+}
+
+func runCrashsoak(cfg crashsoakConfig) error {
+	if cfg.Cycles < 1 {
+		cfg.Cycles = 3
+	}
+	if cfg.Jobs < 1 {
+		cfg.Jobs = 6
+	}
+	logf := func(format string, a ...any) {
+		if !cfg.Quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dataDir, err := os.MkdirTemp("", "crashsoak-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	addrFile := filepath.Join(dataDir, "addr")
+
+	// Uninterrupted references, computed in-process before any daemon runs.
+	refs := make([][]uint32, cfg.Jobs)
+	for i := range refs {
+		out, err := crashsoakReference(crashsoakArg(cfg.Scale, i))
+		if err != nil {
+			return fmt.Errorf("reference run %d: %w", i, err)
+		}
+		refs[i] = out
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	idByKey := make(map[string]string)
+	var csv bytes.Buffer
+	fmt.Fprintf(&csv, "# crashsoak cycles=%d jobs=%d workers=%d scale=%g\n", cfg.Cycles, cfg.Jobs, cfg.Workers, cfg.Scale)
+	fmt.Fprintf(&csv, "cycle,event,done,total,spill_total,resumed,requeued,terminal,corrupt\n")
+
+	var resumedTotal, requeuedTotal float64
+	kills := 0
+	for cycle := 0; cycle <= cfg.Cycles; cycle++ {
+		os.Remove(addrFile)
+		child := exec.Command(exe, "crashsoak-serve",
+			"-data-dir", dataDir, "-addr-file", addrFile,
+			"-workers", strconv.Itoa(cfg.Workers), "-queue", strconv.Itoa(cfg.Queue))
+		child.Stderr = os.Stderr
+		if err := child.Start(); err != nil {
+			return err
+		}
+		base, err := awaitAddrFile(addrFile, child, 20*time.Second)
+		if err != nil {
+			child.Process.Kill()
+			child.Wait()
+			return err
+		}
+
+		mets, err := scrapeMetrics(client, base)
+		if err != nil {
+			child.Process.Kill()
+			child.Wait()
+			return err
+		}
+		resumedTotal += mets["atomemu_restart_jobs_resumed_total"]
+		requeuedTotal += mets["atomemu_restart_jobs_requeued_total"]
+		if c := mets["atomemu_journal_corrupt_records_total"]; c != 0 {
+			child.Process.Kill()
+			child.Wait()
+			return fmt.Errorf("cycle %d: replay skipped %g corrupt journal records", cycle, c)
+		}
+		fmt.Fprintf(&csv, "%d,start,%d,%d,%g,%g,%g,%g,%g\n", cycle,
+			countDone(client, base, idByKey), cfg.Jobs,
+			mets["atomemu_ckpt_spill_total"],
+			mets["atomemu_restart_jobs_resumed_total"],
+			mets["atomemu_restart_jobs_requeued_total"],
+			mets["atomemu_restart_jobs_terminal_total"],
+			mets["atomemu_journal_corrupt_records_total"])
+		logf("crashsoak: cycle %d up at %s (resumed=%g requeued=%g terminal=%g)",
+			cycle, base, mets["atomemu_restart_jobs_resumed_total"],
+			mets["atomemu_restart_jobs_requeued_total"], mets["atomemu_restart_jobs_terminal_total"])
+
+		// (Re-)submit every key. A key seen before must answer its old id.
+		for i := 0; i < cfg.Jobs; i++ {
+			key := fmt.Sprintf("crash-%d", i)
+			id, err := submitCrashsoakJob(client, base, key, crashsoakArg(cfg.Scale, i))
+			if err != nil {
+				child.Process.Kill()
+				child.Wait()
+				return fmt.Errorf("cycle %d submit %s: %w", cycle, key, err)
+			}
+			if old, seen := idByKey[key]; seen && old != id {
+				child.Process.Kill()
+				child.Wait()
+				return fmt.Errorf("cycle %d: key %s answered %s, previously %s — duplicate admission", cycle, key, id, old)
+			}
+			idByKey[key] = id
+		}
+
+		if cycle < cfg.Cycles {
+			// Let the burst run until checkpoints hit the disk, then pull the
+			// plug — no drain, no warning, exactly like a crash.
+			if err := awaitSpill(client, base, 30*time.Second); err != nil {
+				child.Process.Kill()
+				child.Wait()
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			child.Process.Kill()
+			child.Wait()
+			kills++
+			fmt.Fprintf(&csv, "%d,sigkill,,%d,,,,,\n", cycle, cfg.Jobs)
+			logf("crashsoak: cycle %d SIGKILL", cycle)
+			continue
+		}
+
+		// Final cycle: run everything to completion and audit.
+		if err := awaitAllDone(client, base, idByKey, 120*time.Second); err != nil {
+			child.Process.Kill()
+			child.Wait()
+			return err
+		}
+		lost, mismatched := 0, 0
+		for i := 0; i < cfg.Jobs; i++ {
+			key := fmt.Sprintf("crash-%d", i)
+			st, err := jobStatus(client, base, idByKey[key])
+			if err != nil {
+				lost++
+				logf("crashsoak: %s (%s) LOST: %v", key, idByKey[key], err)
+				continue
+			}
+			if st.State != "done" || !equalOutputs(st.Output, refs[i]) {
+				mismatched++
+				logf("crashsoak: %s state=%s output mismatch (got %d words, want %d)",
+					key, st.State, len(st.Output), len(refs[i]))
+			}
+		}
+		mets, _ = scrapeMetrics(client, base)
+		fmt.Fprintf(&csv, "%d,final,%d,%d,%g,%g,%g,%g,%g\n", cycle,
+			cfg.Jobs-lost-mismatched, cfg.Jobs,
+			mets["atomemu_ckpt_spill_total"], resumedTotal, requeuedTotal,
+			mets["atomemu_restart_jobs_terminal_total"],
+			mets["atomemu_journal_corrupt_records_total"])
+		child.Process.Kill()
+		child.Wait()
+
+		fmt.Printf("crashsoak: %d jobs, %d SIGKILL cycles: lost=%d duplicated=0 mismatched=%d resumed=%g requeued=%g\n",
+			cfg.Jobs, kills, lost, mismatched, resumedTotal, requeuedTotal)
+		if lost > 0 || mismatched > 0 {
+			return fmt.Errorf("crashsoak: durability contract violated (lost=%d mismatched=%d)", lost, mismatched)
+		}
+		if kills < cfg.Cycles {
+			return fmt.Errorf("crashsoak: only %d of %d kill cycles ran", kills, cfg.Cycles)
+		}
+		if resumedTotal < 1 {
+			return fmt.Errorf("crashsoak: no job ever resumed from a checkpoint — the resume path went untested")
+		}
+	}
+
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(cfg.OutDir, "crashsoak.csv")
+		if err := os.WriteFile(path, csv.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// crashsoakReference runs one job's program uninterrupted on a bare engine.
+func crashsoakReference(arg uint32) ([]uint32, error) {
+	im, err := gac.Compile(crashsoakGAC)
+	if err != nil {
+		return nil, err
+	}
+	cfg := engine.DefaultConfig("pico-cas")
+	m, err := engine.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadImage(im); err != nil {
+		return nil, err
+	}
+	if _, err := m.SpawnThread(im.Entry, arg); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return m.Output(), nil
+}
+
+func submitCrashsoakJob(client *http.Client, base, key string, arg uint32) (string, error) {
+	req := server.JobRequest{
+		Scheme: "pico-cas", GAC: crashsoakGAC, Arg: arg,
+		DeadlineMS:     120_000,
+		IdempotencyKey: key,
+		Config:         server.JobConfig{CheckpointEvery: 5000},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			lastErr = fmt.Errorf("POST /jobs: %d %s", resp.StatusCode, strings.TrimSpace(string(b)))
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		var ans struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(b, &ans); err != nil {
+			return "", err
+		}
+		return ans.ID, nil
+	}
+	return "", lastErr
+}
+
+func jobStatus(client *http.Client, base, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	resp, err := client.Get(base + "/jobs/" + id)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("GET /jobs/%s: %d %s", id, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// awaitAddrFile waits for the child daemon to publish its listen address.
+func awaitAddrFile(path string, child *exec.Cmd, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return "http://" + strings.TrimSpace(string(b)), nil
+		}
+		if child.ProcessState != nil {
+			return "", fmt.Errorf("daemon exited before publishing its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never published %s", path)
+}
+
+// awaitSpill polls /metrics until at least one checkpoint hit the disk in
+// this daemon's lifetime — the signal that a kill now lands mid-run with
+// durable state worth resuming.
+func awaitSpill(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		mets, err := scrapeMetrics(client, base)
+		if err == nil && mets["atomemu_ckpt_spill_total"] > 0 {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("no checkpoint spill within %s", timeout)
+}
+
+func awaitAllDone(client *http.Client, base string, idByKey map[string]string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, id := range idByKey {
+			st, err := jobStatus(client, base, id)
+			if err == nil && (st.State == "done" || st.State == "failed" || st.State == "canceled") {
+				done++
+			}
+		}
+		if done == len(idByKey) {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("jobs still unterminated after %s", timeout)
+}
+
+func countDone(client *http.Client, base string, idByKey map[string]string) int {
+	done := 0
+	for _, id := range idByKey {
+		if st, err := jobStatus(client, base, id); err == nil && st.State == "done" {
+			done++
+		}
+	}
+	return done
+}
+
+// scrapeMetrics parses the Prometheus exposition into name→value, ignoring
+// labeled series (crashsoak only reads the unlabeled durability counters).
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[sp+1:], 64); err == nil {
+			out[line[:sp]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func equalOutputs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- child mode ---
+
+// runCrashsoakServe is the daemon side of crashsoak: a durable server on an
+// ephemeral loopback port, its address published through -addr-file. It
+// never shuts down gracefully — the parent's SIGKILL is the whole point.
+func runCrashsoakServe(args []string) error {
+	fs := flag.NewFlagSet("crashsoak-serve", flag.ContinueOnError)
+	dataDir := fs.String("data-dir", "", "durability directory (required)")
+	addrFile := fs.String("addr-file", "", "file to publish the listen address to (required)")
+	workers := fs.Int("workers", 2, "emulation workers")
+	queue := fs.Int("queue", 16, "job queue depth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" || *addrFile == "" {
+		return fmt.Errorf("crashsoak-serve needs -data-dir and -addr-file")
+	}
+	s, err := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		DataDir:    *dataDir,
+		// SIGKILL is the adversary here, so every acknowledged record must
+		// already be on disk: batch syncing would let an acked job vanish.
+		Fsync: "always",
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// Publish atomically so the parent never reads a half-written address.
+	tmp := *addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, *addrFile); err != nil {
+		return err
+	}
+	return http.Serve(ln, s.Handler())
+}

@@ -18,7 +18,12 @@
 //	                           the lock-free workloads; -out DIR writes the run
 //	                           CSV and minimized repros; exits nonzero on any
 //	                           unexpected oracle violation
-//	atomemu-bench all          everything above
+//	atomemu-bench crashsoak    durability proof: SIGKILL a durable child daemon
+//	                           mid-burst -crash-cycles times over one data dir;
+//	                           exits nonzero if any job is lost, any idempotent
+//	                           submit duplicates, or any output diverges from an
+//	                           uninterrupted reference (not part of "all")
+//	atomemu-bench all          everything above except crashsoak
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
 // Seed-driven experiments (adversary, soak, resilience) share the single
@@ -46,6 +51,11 @@ func main() {
 }
 
 func run(args []string) error {
+	// The crashsoak child mode re-executes this binary as a daemon; it has
+	// its own flags and must be routed before the bench FlagSet sees them.
+	if len(args) > 0 && args[0] == "crashsoak-serve" {
+		return runCrashsoakServe(args[1:])
+	}
 	fs := flag.NewFlagSet("atomemu-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "work scale factor (1.0 = full-size runs)")
 	threadsFlag := fs.String("threads", "", "comma-separated thread counts (default: per-figure sweep)")
@@ -61,13 +71,15 @@ func run(args []string) error {
 	soakWorkers := fs.Int("soak-workers", 4, "daemon workers for the soak run")
 	soakQueue := fs.Int("soak-queue", 4, "daemon queue depth for the soak run")
 	seed := fs.Uint64("seed", 1, "experiment seed (adversary, soak, resilience); recorded in CSV headers")
+	crashCycles := fs.Int("crash-cycles", 3, "SIGKILL cycles for the crashsoak run")
+	crashJobs := fs.Int("crash-jobs", 6, "keyed jobs for the crashsoak run")
 	advRuns := fs.Int("runs", 40, "scenario budget for the adversary search")
 	advMaxSteps := fs.Uint64("max-steps", 0, "per-scenario step budget for the adversary search (0 = default)")
 	advTargets := fs.String("targets", "", "comma-separated workload targets for the adversary search (default: all)")
 	advFree := fs.Bool("free", false, "let the adversary search explore free-running mode too")
 	require := fs.String("require", "", "fail the adversary search unless a property held (strict-livelock)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|crashsoak|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -215,6 +227,17 @@ func run(args []string) error {
 			}
 			r.Render(os.Stdout)
 			return saveCSV("soak.csv", r.CSV)
+		},
+		"crashsoak": func() error {
+			return runCrashsoak(crashsoakConfig{
+				Cycles:  *crashCycles,
+				Jobs:    *crashJobs,
+				Workers: *soakWorkers,
+				Queue:   *soakQueue,
+				Scale:   *scale,
+				OutDir:  *outDir,
+				Quiet:   *quiet,
+			})
 		},
 		"adversary": func() error {
 			return runAdversary(advConfig{

@@ -62,9 +62,12 @@ func run() error {
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "time to let jobs finish on SIGTERM before cancelling them")
 	allowFault := flag.Bool("allow-fault-inject", false, "accept fault-injection rules in job requests (soak/CI only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off; use a loopback port, not -addr)")
+	dataDir := flag.String("data-dir", "", "durability directory: job journal + checkpoint spills; accepted jobs survive restarts (empty = in-memory only)")
+	fsync := flag.String("fsync", "batch", "journal sync policy: always (power-loss safe), batch (default), never (crash-safe via page cache only)")
+	maxResumes := flag.Int("max-restart-resumes", 3, "checkpoint-resume attempts per job across restarts before requeueing from scratch (negative = unbounded)")
 	flag.Parse()
 
-	s := server.New(server.Options{
+	s, err := server.New(server.Options{
 		Workers:                *workers,
 		QueueDepth:             *queue,
 		DefaultWallDeadline:    *wallDeadline,
@@ -76,8 +79,19 @@ func run() error {
 		BreakerCooldown:        *breakerCooldown,
 		DrainGrace:             *drainGrace,
 		AllowFaultInjection:    *allowFault,
+		DataDir:                *dataDir,
+		Fsync:                  *fsync,
+		MaxRestartResumes:      *maxResumes,
 		Logger:                 log.Default(),
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		m := s.Metrics()
+		log.Printf("atomemud: durable in %s (fsync=%s, replayed=%d records, resumed=%d requeued=%d terminal=%d)",
+			*dataDir, *fsync, m.JournalReplayed, m.RestartResumed, m.RestartRequeued, m.RestartTerminal)
+	}
 
 	if *pprofAddr != "" {
 		// A dedicated mux, not http.DefaultServeMux: the profiling

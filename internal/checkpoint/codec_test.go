@@ -1,0 +1,201 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"atomemu/internal/arch"
+	"atomemu/internal/mmu"
+	"atomemu/internal/stats"
+)
+
+func testSnapshot() *Snapshot {
+	frameA := make([]uint32, mmu.PageWords)
+	frameB := make([]uint32, mmu.PageWords)
+	frameDup := make([]uint32, mmu.PageWords)
+	for i := range frameA {
+		frameA[i] = uint32(i) * 3
+		frameDup[i] = frameA[i] // same contents, different slice: must dedup
+		frameB[i] = 0xdead0000 + uint32(i)
+	}
+	st := stats.CPU{GuestInstrs: 1234, SCs: 7, SCFails: 2}
+	st.Cycles[stats.CompNative] = 999
+	return &Snapshot{
+		VirtualTime: 123456,
+		Mem: &mmu.Snapshot{
+			Pages: []mmu.PageSnap{
+				{Base: 0x1000, Perm: mmu.PermRX, Frame: 0},
+				{Base: 0x10000, Perm: mmu.PermRWX, Frame: 1},
+				{Base: 0x11000, Perm: mmu.PermRW, Frame: 2},
+			},
+			Frames: map[int32][]uint32{0: frameA, 1: frameB, 2: frameDup},
+		},
+		Scheme: map[string]int{"private": 1}, // must be dropped by the codec
+		CPUs: []VCPU{
+			{TID: 1, PC: 0x10040, Slots: []uint32{1, 2, 3}, Flags: arch.Flags{Z: true}, Clock: 123456, Stats: st},
+			{TID: 2, PC: 0x10080, Slots: []uint32{9}, Halted: true, ExitCode: 3,
+				Blocked: Blocked{Active: true, Syscall: 7, Kind: "futex", Addr: 0x11010}},
+		},
+		Barriers: []Barrier{{Addr: 0x11020, Total: 4}},
+		Output:   []uint32{10, 20, 30},
+		HeapNext: 0x2000_1000,
+		NextTID:  3,
+	}
+}
+
+func encodeToBytes(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	got, err := DecodeBytes(encodeToBytes(t, want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Scheme != nil {
+		t.Fatalf("decoded snapshot carries a scheme payload: %v", got.Scheme)
+	}
+	if got.VirtualTime != want.VirtualTime || got.HeapNext != want.HeapNext || got.NextTID != want.NextTID {
+		t.Fatalf("cursors mismatch: %+v", got)
+	}
+	if len(got.CPUs) != 2 || got.CPUs[0].Stats.GuestInstrs != 1234 ||
+		got.CPUs[0].Stats.Cycles[stats.CompNative] != 999 || !got.CPUs[0].Flags.Z {
+		t.Fatalf("vCPU state mismatch: %+v", got.CPUs)
+	}
+	if b := got.CPUs[1].Blocked; !b.Active || b.Kind != "futex" || b.Addr != 0x11010 {
+		t.Fatalf("blocked marker mismatch: %+v", b)
+	}
+	if len(got.Barriers) != 1 || got.Barriers[0].Total != 4 {
+		t.Fatalf("barriers mismatch: %+v", got.Barriers)
+	}
+	if len(got.Output) != 3 || got.Output[2] != 30 {
+		t.Fatalf("output mismatch: %v", got.Output)
+	}
+	if len(got.Mem.Pages) != 3 || len(got.Mem.Frames) != 3 {
+		t.Fatalf("memory shape mismatch: %d pages, %d frames", len(got.Mem.Pages), len(got.Mem.Frames))
+	}
+	for f, words := range want.Mem.Frames {
+		gw := got.Mem.Frames[f]
+		if len(gw) != len(words) {
+			t.Fatalf("frame %d length mismatch", f)
+		}
+		for i := range words {
+			if gw[i] != words[i] {
+				t.Fatalf("frame %d word %d: %#x != %#x", f, i, gw[i], words[i])
+			}
+		}
+	}
+}
+
+func TestCodecDedupsIdenticalFrames(t *testing.T) {
+	s := testSnapshot()
+	withDup := len(encodeToBytes(t, s))
+	// Make the duplicate frame unique: the image must grow by a whole frame.
+	s.Mem.Frames[2] = append([]uint32(nil), s.Mem.Frames[2]...)
+	s.Mem.Frames[2][0] = ^uint32(0)
+	withoutDup := len(encodeToBytes(t, s))
+	if withoutDup-withDup != mmu.PageWords*4 {
+		t.Fatalf("dedup saved %d bytes, want exactly one frame (%d)", withoutDup-withDup, mmu.PageWords*4)
+	}
+	// And the deduped image still restores both frames independently.
+	got, err := DecodeBytes(encodeToBytes(t, testSnapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mem.Frames[0][10] != got.Mem.Frames[2][10] {
+		t.Fatal("deduped frames decoded to different contents")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	good := encodeToBytes(t, testSnapshot())
+
+	check := func(name string, img []byte) {
+		t.Helper()
+		s, err := DecodeBytes(img)
+		if err == nil {
+			t.Fatalf("%s: decode accepted a damaged image (%+v)", name, s)
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: error %v is not a DecodeError", name, err)
+		}
+	}
+
+	check("empty", nil)
+	check("truncated", good[:len(good)/2])
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xff
+	check("bad magic", badMagic)
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 0x7f
+	check("bad version", badVersion)
+	for _, off := range []int{16, len(good) / 2, len(good) - 5} {
+		flipped := append([]byte(nil), good...)
+		flipped[off] ^= 0x01
+		check("flip", flipped)
+	}
+}
+
+func TestDecodeRejectsDanglingBlobRef(t *testing.T) {
+	s := testSnapshot()
+	// A page referencing a frame that has no contents must be rejected: the
+	// restore path would otherwise index a nil frame.
+	s.Mem.Pages = append(s.Mem.Pages, mmu.PageSnap{Base: 0x20000, Perm: mmu.PermRW, Frame: 99})
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := DecodeBytes(buf.Bytes()); err == nil {
+		t.Fatal("decode accepted a page with a missing frame")
+	}
+}
+
+// FuzzCheckpointDecode: DecodeBytes must never panic, whatever the bytes.
+// When an image does decode, re-encoding the result must yield an image
+// that decodes to the same snapshot — the codec has one canonical form.
+func FuzzCheckpointDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, testSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:8])
+	truncated := append([]byte(nil), good[:len(good)-3]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeBytes(data)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("non-DecodeError from DecodeBytes: %v", err)
+			}
+			return
+		}
+		var re bytes.Buffer
+		if err := Encode(&re, snap); err != nil {
+			t.Fatalf("re-encode of a decoded snapshot failed: %v", err)
+		}
+		again, err := DecodeBytes(re.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.VirtualTime != snap.VirtualTime || len(again.CPUs) != len(snap.CPUs) ||
+			len(again.Output) != len(snap.Output) {
+			t.Fatalf("round-trip diverged: %+v vs %+v", again, snap)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"atomemu/internal/mmu"
+)
+
+// DecodeError reports a rejected snapshot image. Callers treat any decode
+// failure as "no usable checkpoint" and fall back to running the job from
+// scratch — a damaged spill must never wedge recovery.
+type DecodeError struct{ Reason string }
+
+func (e *DecodeError) Error() string { return "checkpoint: decode: " + e.Reason }
+
+func decErr(format string, args ...any) error {
+	return &DecodeError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Decode parses an image produced by Encode, validating magic, version,
+// section bounds, blob references and the trailing CRC before trusting any
+// of it. The returned snapshot carries Scheme == nil (see the encoding
+// comment in encode.go: scheme payloads are deliberately not persisted;
+// every scheme restores fresh from a nil payload).
+func Decode(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBytes(data)
+}
+
+// DecodeBytes is Decode over an in-memory image.
+func DecodeBytes(data []byte) (*Snapshot, error) {
+	if len(data) < 20 { // magic+version+metaLen+blobCount+crc
+		return nil, decErr("image too short (%d bytes)", len(data))
+	}
+	if got := binary.LittleEndian.Uint32(data[0:]); got != Magic {
+		return nil, decErr("bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(data[4:]); got != Version {
+		return nil, decErr("unsupported version %d (have %d)", got, Version)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.Checksum(body, codecCRC); got != want {
+		return nil, decErr("crc mismatch (%#x != %#x)", got, want)
+	}
+
+	metaLen := int(binary.LittleEndian.Uint32(data[8:]))
+	if metaLen < 0 || metaLen > maxEncodedMeta || 12+metaLen+4 > len(body) {
+		return nil, decErr("metadata length %d out of bounds", metaLen)
+	}
+	var meta encMeta
+	if err := json.Unmarshal(data[12:12+metaLen], &meta); err != nil {
+		return nil, decErr("metadata: %v", err)
+	}
+	off := 12 + metaLen
+	nblobs := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if nblobs < 0 || nblobs > maxBlobCount {
+		return nil, decErr("blob count %d out of bounds", nblobs)
+	}
+	if len(body)-off != nblobs*frameBytes {
+		return nil, decErr("blob section is %d bytes, want %d", len(body)-off, nblobs*frameBytes)
+	}
+	blobs := make([][]uint32, nblobs)
+	for b := 0; b < nblobs; b++ {
+		words := make([]uint32, mmu.PageWords)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint32(data[off:])
+			off += 4
+		}
+		blobs[b] = words
+	}
+
+	mem := &mmu.Snapshot{
+		Pages:  meta.Pages,
+		Frames: make(map[int32][]uint32, len(meta.FrameBlobs)),
+	}
+	for _, ref := range meta.FrameBlobs {
+		if int(ref.Blob) >= nblobs {
+			return nil, decErr("frame %d references blob %d of %d", ref.Frame, ref.Blob, nblobs)
+		}
+		if ref.Frame < 0 {
+			return nil, decErr("negative frame index %d", ref.Frame)
+		}
+		mem.Frames[ref.Frame] = blobs[ref.Blob]
+	}
+	for _, pg := range meta.Pages {
+		if _, ok := mem.Frames[pg.Frame]; !ok {
+			return nil, decErr("page %#x references missing frame %d", pg.Base, pg.Frame)
+		}
+	}
+	if len(meta.CPUs) == 0 {
+		return nil, decErr("no vCPUs")
+	}
+	seen := make(map[uint32]bool, len(meta.CPUs))
+	for _, c := range meta.CPUs {
+		if c.TID == 0 || seen[c.TID] {
+			return nil, decErr("bad vCPU tid %d", c.TID)
+		}
+		seen[c.TID] = true
+	}
+
+	return &Snapshot{
+		VirtualTime: meta.VirtualTime,
+		Mem:         mem,
+		Scheme:      nil,
+		CPUs:        meta.CPUs,
+		Barriers:    meta.Barriers,
+		Output:      meta.Output,
+		HeapNext:    meta.HeapNext,
+		NextTID:     meta.NextTID,
+	}, nil
+}

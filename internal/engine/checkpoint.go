@@ -33,10 +33,19 @@ func (m *Machine) maybeCheckpoint(c *CPU) {
 		return
 	}
 	m.excl.startExclusiveQuiet(c)
+	var snap *checkpoint.Snapshot
 	if !m.stopped.Load() {
-		m.capture(c)
+		snap = m.capture(c)
 	}
 	m.excl.endExclusiveQuiet(c)
+	// The durability sink runs after the quiet window is over: spilling a
+	// snapshot to disk must never extend the stop-the-world, and the
+	// snapshot is immutable once captured, so the sink (and whatever
+	// writer goroutine it hands off to) can read it race-free while the
+	// machine runs on. Uncharged, like the capture itself.
+	if snap != nil && m.cfg.CheckpointSink != nil {
+		m.cfg.CheckpointSink(snap)
+	}
 }
 
 // capture records the machine's state as the newest snapshot. The caller
@@ -49,7 +58,7 @@ func (m *Machine) maybeCheckpoint(c *CPU) {
 // to the capturing vCPU's clock — checkpointing must not perturb the
 // virtual-time model, so a run with it enabled stays cycle-identical to one
 // without.
-func (m *Machine) capture(c *CPU) {
+func (m *Machine) capture(c *CPU) *checkpoint.Snapshot {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 	var prev *mmu.Snapshot
@@ -105,6 +114,7 @@ func (m *Machine) capture(c *CPU) {
 	c.ring.Emit(obs.EvCheckpoint, 0, uint64(snap.Mem.Copied))
 	c.st.Charge(stats.CompCheckpoint,
 		m.cfg.Cost.CheckpointBase+uint64(snap.Mem.Copied)*m.cfg.Cost.CheckpointPage)
+	return snap
 }
 
 // restore rolls the machine back to snap and relaunches its vCPUs. Called
@@ -145,7 +155,9 @@ func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
 			return err
 		}
 	}
-	m.mem.Restore(snap.Mem)
+	if f := m.mem.Restore(snap.Mem); f != nil {
+		return fmt.Errorf("engine: restoring guest memory: %w", f)
+	}
 	if !demote {
 		m.scheme.Restore(m.mem, snap.Scheme)
 	}

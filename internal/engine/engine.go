@@ -159,6 +159,14 @@ type Config struct {
 	// 0 selects the default (3); a negative value disables recovery even
 	// when checkpoints are captured.
 	RecoveryAttempts int
+	// CheckpointSink, when set alongside CheckpointEvery, receives every
+	// captured snapshot just after the quiet stop-the-world window ends —
+	// the durability layer spills it to disk from here. The call runs on
+	// the capturing vCPU's goroutine, uncharged (capture cost is already
+	// attributed to the checkpoint component), so implementations must not
+	// block: hand the (immutable) snapshot to a writer goroutine and
+	// return. Restored runs keep the same sink.
+	CheckpointSink func(*checkpoint.Snapshot)
 	// VirtualDeadline stops the machine with a DeadlineError once any vCPU
 	// clock passes this many virtual cycles. 0 means no deadline.
 	VirtualDeadline uint64

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"atomemu/internal/checkpoint"
 	"atomemu/internal/core"
 	"atomemu/internal/mmu"
 )
@@ -86,17 +87,41 @@ func (m *Machine) RunContext(ctx context.Context) error {
 		if snap == nil {
 			return err
 		}
-		if attempts >= m.cfg.RecoveryAttempts {
-			return &RecoveryExhaustedError{Attempts: attempts, Err: err}
-		}
-		attempts++
-		m.recoveryAttempts.Add(1)
 		demote := schemeAttributed(err) && !m.scheme.Portable()
-		if rerr := m.restore(snap, demote); rerr != nil {
-			return fmt.Errorf("engine: rollback failed: %v (recovering from: %w)", rerr, err)
+		// The restore itself can fail — a fault injected into the page-table
+		// rebuild, a snapshot that no longer matches the machine, or a panic
+		// on the restore path. Each failed restore consumes a recovery
+		// attempt and is retried against the same (immutable) snapshot,
+		// instead of returning a terminal "rollback failed" on the first
+		// hiccup — or worse, leaving a half-restored machine that a later
+		// waitStopped would report as a clean finish.
+		for {
+			if attempts >= m.cfg.RecoveryAttempts {
+				return &RecoveryExhaustedError{Attempts: attempts, Err: err}
+			}
+			attempts++
+			m.recoveryAttempts.Add(1)
+			rerr := m.tryRestore(snap, demote)
+			if rerr == nil {
+				break
+			}
+			err = fmt.Errorf("engine: rollback failed: %w (recovering from: %v)", rerr, err)
 		}
 		m.recoveryRestores.Add(1)
 	}
+}
+
+// tryRestore is restore with panic containment: a panic on the restore
+// path (the same class of failure the vCPU run loop already contains)
+// becomes an error charged against the recovery budget rather than killing
+// the recovery goroutine.
+func (m *Machine) tryRestore(snap *checkpoint.Snapshot, demote bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: restore panicked: %v", r)
+		}
+	}()
+	return m.restore(snap, demote)
 }
 
 // waitStopped waits for the current generation of vCPU goroutines while

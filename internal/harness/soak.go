@@ -119,7 +119,7 @@ func RunSoak(opts SoakOptions, progress Progress) (*Soak, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 
-	s := server.New(server.Options{
+	s, err := server.New(server.Options{
 		Workers:             opts.Workers,
 		QueueDepth:          opts.QueueDepth,
 		DefaultWallDeadline: 30 * time.Second,
@@ -128,6 +128,9 @@ func RunSoak(opts SoakOptions, progress Progress) (*Soak, error) {
 		DrainGrace:          500 * time.Millisecond,
 		AllowFaultInjection: true,
 	})
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

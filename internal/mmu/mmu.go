@@ -556,9 +556,29 @@ func (m *Memory) SnapshotPages(prev *Snapshot) *Snapshot {
 // in. Frames allocated after the snapshot are recycled. The snapshot
 // itself is not consumed and stays valid for further restores. Like
 // SnapshotPages, this requires quiescence.
-func (m *Memory) Restore(s *Snapshot) {
+//
+// A non-nil return means the restore did not complete: either the snapshot
+// does not fit this address space (a decoded spill from a machine with a
+// larger MemBytes — validated up front, before any state is touched), or a
+// fault was injected mid-rebuild (OpMemStore rules match each restored
+// page's base address). After an injected mid-rebuild fault the address
+// space is partial; the caller retries the restore or abandons the machine.
+func (m *Memory) Restore(s *Snapshot) *Fault {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Fail-closed validation before the wipe: a snapshot referencing frames
+	// beyond physical capacity (or pages with no frame contents) must not
+	// destroy the current state, and must not panic the frame-array index.
+	for f := range s.Frames {
+		if f < 0 || int(f) >= len(m.frames) {
+			return &Fault{Addr: 0, Kind: FaultUnmapped, Access: AccessStore}
+		}
+	}
+	for _, pg := range s.Pages {
+		if _, ok := s.Frames[pg.Frame]; !ok {
+			return &Fault{Addr: pg.Base, Kind: FaultUnmapped, Access: AccessStore}
+		}
+	}
 	for i := range m.dir {
 		m.dir[i].Store(nil)
 	}
@@ -583,6 +603,10 @@ func (m *Memory) Restore(s *Snapshot) {
 	// snapshot re-copies all frames rather than trusting pre-rollback
 	// sharing.
 	for _, pg := range s.Pages {
+		if m.inj.Check(faultinject.OpMemStore, 0, pg.Base) == faultinject.ActFault {
+			return &Fault{Addr: pg.Base, Kind: FaultProtected, Access: AccessStore}
+		}
 		m.setPTE(pg.Base, makePTE(pg.Frame, pg.Perm))
 	}
+	return nil
 }

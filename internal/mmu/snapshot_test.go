@@ -1,6 +1,10 @@
 package mmu
 
-import "testing"
+import (
+	"testing"
+
+	"atomemu/internal/faultinject"
+)
 
 // TestSnapshotRestoreRoundTrip: a snapshot must reproduce the exact memory
 // image it captured, and stay valid for a second restore after further
@@ -90,5 +94,83 @@ func TestSnapshotIncrementalSharing(t *testing.T) {
 		if v != want {
 			t.Fatalf("page %d word = %d, want %d", p, v, want)
 		}
+	}
+}
+
+// TestRestoreRejectsOversizedSnapshot: restoring a snapshot whose frames
+// exceed physical capacity (a decoded spill from a machine with a larger
+// MemBytes) must fail closed — non-nil fault, current state untouched.
+func TestRestoreRejectsOversizedSnapshot(t *testing.T) {
+	big := New(1 << 20)
+	if err := big.Map(0x1000, 4*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	snap := big.SnapshotPages(nil)
+
+	small := New(2 * PageSize)
+	if err := small.Map(0x5000, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := small.StoreWord(0x5000, 0x1234); f != nil {
+		t.Fatal(f)
+	}
+	if f := small.Restore(snap); f == nil {
+		t.Fatal("restoring a 4-frame snapshot into a 2-frame space must fault")
+	}
+	// Fail-closed: the rejected restore must not have wiped anything.
+	v, f := small.LoadWord(0x5000)
+	if f != nil || v != 0x1234 {
+		t.Fatalf("pre-restore state destroyed by rejected restore: v=%#x f=%v", v, f)
+	}
+}
+
+// TestRestoreRejectsDanglingFrameRef: a snapshot page pointing at a frame
+// with no captured contents (a corrupt or hand-built spill) is rejected
+// up front with the page's base address in the fault.
+func TestRestoreRejectsDanglingFrameRef(t *testing.T) {
+	m := New(1 << 20)
+	snap := &Snapshot{
+		Pages:  []PageSnap{{Base: 0x3000, Perm: PermRW, Frame: 7}},
+		Frames: map[int32][]uint32{},
+	}
+	f := m.Restore(snap)
+	if f == nil {
+		t.Fatal("dangling frame reference must fault")
+	}
+	if f.Addr != 0x3000 {
+		t.Fatalf("fault addr = %#x, want the dangling page base 0x3000", f.Addr)
+	}
+}
+
+// TestRestoreInjectedFaultIsRetryable: a fault injected into the
+// page-table rebuild leaves partial state, but retrying the same restore
+// (the engine's recovery loop) completes and reproduces the image.
+func TestRestoreInjectedFaultIsRetryable(t *testing.T) {
+	m := New(1 << 20)
+	m.SetInjector(faultinject.New(faultinject.Rule{
+		Op: faultinject.OpMemStore, Action: faultinject.ActFault, Addr: 0x2000, Count: 1,
+	}))
+	if err := m.Map(0x2000, 2*PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Store past the page base: the rule is scoped to the base address, so
+	// it can only fire in Restore's page sweep, not on this guest store.
+	if f := m.StoreWord(0x2004, 0xabcd); f != nil {
+		t.Fatal(f)
+	}
+	snap := m.SnapshotPages(nil)
+	f := m.Restore(snap)
+	if f == nil {
+		t.Fatal("first restore should take the injected rebuild fault")
+	}
+	if f.Addr != 0x2000 {
+		t.Fatalf("fault addr = %#x, want the injected page base 0x2000", f.Addr)
+	}
+	if f2 := m.Restore(snap); f2 != nil {
+		t.Fatalf("retry after the injected fault should succeed: %v", f2)
+	}
+	v, lf := m.LoadWord(0x2004)
+	if lf != nil || v != 0xabcd {
+		t.Fatalf("retried restore lost contents: v=%#x f=%v", v, lf)
 	}
 }

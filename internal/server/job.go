@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"atomemu/internal/asm"
+	"atomemu/internal/checkpoint"
 	"atomemu/internal/engine"
 	"atomemu/internal/faultinject"
 	"atomemu/internal/gac"
@@ -37,6 +38,12 @@ type JobRequest struct {
 	// Fault holds fault-injection rules, accepted only when the server
 	// was started with fault injection allowed (soak and CI harnesses).
 	Fault []FaultRule `json:"fault,omitempty"`
+	// IdempotencyKey, when set, makes the submission exactly-once: a retry
+	// carrying the same key (same client after a lost 202, or any client
+	// after a daemon restart) returns the originally admitted job's id
+	// instead of running the program again. Keys survive restarts on
+	// durable servers. A key whose submission was shed may be retried.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // JobConfig is the engine Config subset a job may set. Zero values defer to
@@ -129,6 +136,10 @@ type JobStatus struct {
 	ExitCode int    `json:"exit_code"`
 	Error    string `json:"error,omitempty"`
 
+	// RestartResumes counts daemon restarts this job survived as a running
+	// job (resumed from its durable checkpoint or requeued from scratch).
+	RestartResumes int `json:"restart_resumes,omitempty"`
+
 	Output      []uint32 `json:"output,omitempty"`
 	VirtualTime uint64   `json:"virtual_time"`
 	GuestInstrs uint64   `json:"guest_instrs"`
@@ -155,6 +166,16 @@ type job struct {
 	threads int
 	arg     uint32
 	wallcap time.Duration
+
+	// Durability fields. key is the idempotency key (may be set without a
+	// DataDir); rawReq is the original wire JSON, journaled so a restart
+	// can rebuild the job; resumes counts restarts survived while running;
+	// resumeSnap, when non-nil, is the decoded checkpoint the next run
+	// resumes from instead of loading the image.
+	key        string
+	rawReq     []byte
+	resumes    int
+	resumeSnap *checkpoint.Snapshot
 
 	mu      sync.Mutex
 	status  JobStatus

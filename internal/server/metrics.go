@@ -68,6 +68,23 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	counter("atomemu_breaker_trips_total", "Circuit-breaker open transitions.", m.BreakerTrips)
 	counter("atomemu_job_panics_total", "Host-side job panics contained by the worker.", m.Panics)
 
+	// Durability exposition: always present so dashboards and smoke checks
+	// can assert on the series; all zero on servers without a DataDir.
+	counter("atomemu_journal_records_total", "Records appended to the job journal by this process.", m.JournalAppends)
+	counter("atomemu_journal_fsyncs_total", "Journal fsyncs.", m.JournalFsyncs)
+	counter("atomemu_journal_compactions_total", "Journal compactions (history collapsed to the live set).", m.JournalCompactions)
+	counter("atomemu_journal_errors_total", "Journal append/sync failures (durability degraded, jobs proceed).", m.JournalErrors)
+	counter("atomemu_journal_replayed_records_total", "Records recovered from the journal at the last startup.", m.JournalReplayed)
+	counter("atomemu_journal_corrupt_records_total", "Corrupt journal records skipped at the last startup replay.", m.JournalCorrupt)
+	counter("atomemu_ckpt_spill_total", "Checkpoint snapshots spilled to disk.", m.CkptSpills)
+	counter("atomemu_ckpt_spill_bytes_total", "Bytes of encoded checkpoint snapshots spilled to disk.", m.CkptSpillBytes)
+	counter("atomemu_ckpt_spill_errors_total", "Failed checkpoint spills.", m.CkptSpillErrors)
+	counter("atomemu_restart_jobs_resumed_total", "Jobs resumed from a durable checkpoint at the last startup.", m.RestartResumed)
+	counter("atomemu_restart_jobs_requeued_total", "Jobs requeued from scratch at the last startup.", m.RestartRequeued)
+	counter("atomemu_restart_jobs_terminal_total", "Terminal jobs re-registered for idempotent reads at the last startup.", m.RestartTerminal)
+	gauge("atomemu_journal_segments", "Journal segment files on disk.")
+	fmt.Fprintf(&b, "atomemu_journal_segments %d\n", m.JournalSegments)
+
 	gauge("atomemu_queue_length", "Jobs waiting in the admission queue.")
 	fmt.Fprintf(&b, "atomemu_queue_length %d\n", len(s.queue))
 	gauge("atomemu_queue_capacity", "Admission queue depth limit.")

@@ -195,9 +195,12 @@ func TestWriteJSONLogsEncodeError(t *testing.T) {
 // run, fail (tripping a breaker), and the server finally drains — meant
 // to run under -race. Histogram counts must be monotonic across scrapes.
 func TestMetricsChurnRace(t *testing.T) {
-	s := New(Options{Workers: 4, QueueDepth: 64,
+	s, err := New(Options{Workers: 4, QueueDepth: 64,
 		BreakerThreshold: 2, BreakerCooldown: time.Hour,
 		Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atomemu/internal/durable"
 	"atomemu/internal/engine"
 	"atomemu/internal/obs"
 	"atomemu/internal/stats"
@@ -75,6 +76,18 @@ type Options struct {
 	// AllowFaultInjection accepts jobs carrying fault-injection rules —
 	// for soak and CI harnesses, never production tenants.
 	AllowFaultInjection bool
+	// DataDir enables durability: accepted jobs are journaled write-ahead
+	// under <DataDir>/journal, running jobs spill checkpoints under
+	// <DataDir>/ckpt, and New replays both so accepted work survives a
+	// crash or restart. Empty keeps the server purely in-memory.
+	DataDir string
+	// Fsync is the journal sync policy: "always", "batch" (default) or
+	// "never". See durable.SyncPolicy for the trade-offs.
+	Fsync string
+	// MaxRestartResumes bounds how many times one job may resume from its
+	// on-disk checkpoint across daemon restarts before recovery falls back
+	// to requeueing it from scratch. Default 3; negative means unbounded.
+	MaxRestartResumes int
 	// Logger receives server-side diagnostics (failed response encodes).
 	// Defaults to log.Default().
 	Logger *log.Logger
@@ -114,6 +127,9 @@ func (o Options) withDefaults() Options {
 	if o.DrainGrace <= 0 {
 		o.DrainGrace = 10 * time.Second
 	}
+	if o.MaxRestartResumes == 0 {
+		o.MaxRestartResumes = 3
+	}
 	if o.Logger == nil {
 		o.Logger = log.Default()
 	}
@@ -133,6 +149,24 @@ type Metrics struct {
 	Demoted      uint64 `json:"demoted"`
 	BreakerTrips uint64 `json:"breaker_trips"`
 	Panics       uint64 `json:"panics"`
+
+	// Durability counters, all zero on servers without a DataDir.
+	// Journal*: this process's write-ahead journal activity, plus what the
+	// startup replay found on disk. CkptSpill*: checkpoint spills to disk.
+	// Restart*: how jobs recovered at the last startup.
+	JournalAppends     uint64 `json:"journal_appends,omitempty"`
+	JournalFsyncs      uint64 `json:"journal_fsyncs,omitempty"`
+	JournalCompactions uint64 `json:"journal_compactions,omitempty"`
+	JournalSegments    uint64 `json:"journal_segments,omitempty"`
+	JournalErrors      uint64 `json:"journal_errors,omitempty"`
+	JournalReplayed    uint64 `json:"journal_replayed,omitempty"`
+	JournalCorrupt     uint64 `json:"journal_corrupt_records,omitempty"`
+	CkptSpills         uint64 `json:"ckpt_spills,omitempty"`
+	CkptSpillBytes     uint64 `json:"ckpt_spill_bytes,omitempty"`
+	CkptSpillErrors    uint64 `json:"ckpt_spill_errors,omitempty"`
+	RestartResumed     uint64 `json:"restart_resumed,omitempty"`
+	RestartRequeued    uint64 `json:"restart_requeued,omitempty"`
+	RestartTerminal    uint64 `json:"restart_terminal,omitempty"`
 }
 
 // Server is the job service. Create with New, mount Handler, stop with
@@ -145,10 +179,11 @@ type Server struct {
 	// admitMu serializes admission against the drain transition: Submit
 	// holds it shared while checking draining and enqueuing, so once Drain
 	// (exclusive) has set the flag, nothing more enters the queue.
-	admitMu  sync.RWMutex
-	draining atomic.Bool
-	drainCh  chan struct{} // closed at drain: workers finish the queue and exit
-	killed   atomic.Bool   // drain grace expired: every job, including ones not yet started, is canceled
+	admitMu   sync.RWMutex
+	draining  atomic.Bool
+	drainOnce sync.Once     // Drain is idempotent: only the first call transitions
+	drainCh   chan struct{} // closed at drain: workers finish the queue and exit
+	killed    atomic.Bool   // drain grace expired: every job, including ones not yet started, is canceled
 
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup // one per accepted job, done at terminal state
@@ -156,6 +191,17 @@ type Server struct {
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID uint64
+	// idemp maps an idempotency key to the job id it admitted, so a retried
+	// POST (a client that never saw its 202, or one replaying across a
+	// daemon restart) returns the same job instead of running it twice.
+	// shedByKey/shedByID remember keyed submissions shed at admission, so
+	// GET /jobs/{id} can answer "shed", distinctly from "never seen".
+	idemp     map[string]string
+	shedByKey map[string]string
+	shedByID  map[string]string
+
+	// dur is the durability layer; nil without Options.DataDir.
+	dur *durability
 
 	accepted, shed, completed, failed, canceled atomic.Uint64
 	recovered, demoted, panics                  atomic.Uint64
@@ -170,41 +216,76 @@ type Server struct {
 	virtHist  map[string]*obs.Histogram
 }
 
-// New builds the server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds the server and starts its worker pool. With a DataDir it
+// first replays the journal — re-registering terminal jobs, requeueing
+// accepted ones and resuming started ones from their spilled checkpoints —
+// before admitting anything new. Journal damage (torn tails, corrupt
+// records) never fails startup; only real I/O errors do.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		queue:    make(chan *job, opts.QueueDepth),
-		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
-		drainCh:  make(chan struct{}),
-		jobs:     make(map[string]*job),
-		wallHist: make(map[string]*obs.Histogram),
-		virtHist: make(map[string]*obs.Histogram),
+		opts:      opts,
+		breakers:  newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
+		drainCh:   make(chan struct{}),
+		jobs:      make(map[string]*job),
+		idemp:     make(map[string]string),
+		shedByKey: make(map[string]string),
+		shedByID:  make(map[string]string),
+		wallHist:  make(map[string]*obs.Histogram),
+		virtHist:  make(map[string]*obs.Histogram),
+	}
+	var recovered []*job
+	if opts.DataDir != "" {
+		if err := s.initDurability(&recovered); err != nil {
+			return nil, fmt.Errorf("server: durability init: %w", err)
+		}
+	}
+	// Recovered jobs must all fit the queue, whatever its configured depth:
+	// shedding previously accepted work at restart would break the
+	// durability contract.
+	qcap := opts.QueueDepth
+	if len(recovered) > qcap {
+		qcap = len(recovered)
+	}
+	s.queue = make(chan *job, qcap)
+	for _, j := range recovered {
+		s.queue <- j
+		s.jobWG.Add(1)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // SubmitError is a submission failure with its HTTP status: 400 for bad
-// requests, 429 for shed load, 503 while draining.
+// requests, 429 for shed load, 503 while draining. ID is set on a keyed
+// shed: the id under which GET /jobs/{id} will answer "shed".
 type SubmitError struct {
 	Status int
 	Msg    string
+	ID     string
 }
 
 func (e *SubmitError) Error() string { return e.Msg }
 
 // Submit admits a job: decode and validate (the expensive part, outside any
 // lock), then atomically check-drain-and-enqueue. The returned job is
-// already visible to Status.
+// already visible to Status. A request whose idempotency key was already
+// accepted returns the original job's id without running anything new.
 func (s *Server) Submit(req JobRequest) (string, error) {
 	j, err := s.decode(req)
 	if err != nil {
 		return "", &SubmitError{Status: http.StatusBadRequest, Msg: err.Error()}
+	}
+	j.key = req.IdempotencyKey
+	if j.key != "" || s.dur != nil {
+		raw, merr := json.Marshal(req)
+		if merr != nil {
+			return "", &SubmitError{Status: http.StatusBadRequest, Msg: merr.Error()}
+		}
+		j.rawReq = raw
 	}
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
@@ -212,6 +293,12 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 		return "", &SubmitError{Status: http.StatusServiceUnavailable, Msg: "draining"}
 	}
 	s.mu.Lock()
+	if j.key != "" {
+		if id, ok := s.idemp[j.key]; ok {
+			s.mu.Unlock()
+			return id, nil
+		}
+	}
 	s.nextID++
 	j.id = fmt.Sprintf("job-%d", s.nextID)
 	j.status.ID = j.id
@@ -221,15 +308,34 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 	case s.queue <- j:
 	default:
 		s.shed.Add(1)
-		return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full"}
+		if j.key == "" {
+			return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full"}
+		}
+		// A keyed shed is remembered (and journaled), so a client retrying
+		// the key later gets a fresh attempt, and a GET on this id gets a
+		// distinct "shed" answer rather than "never seen".
+		s.mu.Lock()
+		s.shedByKey[j.key] = j.id
+		s.shedByID[j.id] = j.key
+		s.mu.Unlock()
+		s.journalAppend(durable.Record{Type: durable.TypeShed, Job: j.id, Key: j.key})
+		return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full", ID: j.id}
 	}
-	// Registered only after winning a queue slot, so a shed job leaves no
-	// record behind.
+	// Registered only after winning a queue slot, so an unkeyed shed job
+	// leaves no record behind.
 	s.mu.Lock()
 	s.jobs[j.id] = j
+	if j.key != "" {
+		s.idemp[j.key] = j.id
+		if old := s.shedByKey[j.key]; old != "" {
+			delete(s.shedByKey, j.key)
+			delete(s.shedByID, old)
+		}
+	}
 	s.mu.Unlock()
 	s.accepted.Add(1)
 	s.jobWG.Add(1)
+	s.journalAppend(durable.Record{Type: durable.TypeSubmitted, Job: j.id, Key: j.key, Request: j.rawReq})
 	return j.id, nil
 }
 
@@ -261,7 +367,7 @@ func (s *Server) Jobs() []JobStatus {
 
 // Metrics returns the service counters.
 func (s *Server) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Accepted:     s.accepted.Load(),
 		Shed:         s.shed.Load(),
 		Completed:    s.completed.Load(),
@@ -272,6 +378,23 @@ func (s *Server) Metrics() Metrics {
 		BreakerTrips: s.breakers.tripCount(),
 		Panics:       s.panics.Load(),
 	}
+	if d := s.dur; d != nil {
+		js := d.jour.Stats()
+		m.JournalAppends = js.Appends
+		m.JournalFsyncs = js.Fsyncs
+		m.JournalCompactions = js.Compactions
+		m.JournalSegments = uint64(js.Segments)
+		m.JournalErrors = d.journalErrors.Load()
+		m.JournalReplayed = uint64(d.replay.Records)
+		m.JournalCorrupt = uint64(d.replay.CorruptRecords)
+		m.CkptSpills = d.spills.Load()
+		m.CkptSpillBytes = d.spillBytes.Load()
+		m.CkptSpillErrors = d.spillErrors.Load()
+		m.RestartResumed = d.restartResumed.Load()
+		m.RestartRequeued = d.restartRequeued.Load()
+		m.RestartTerminal = d.restartTerminal.Load()
+	}
+	return m
 }
 
 // Breakers returns the per-scheme breaker states.
@@ -286,10 +409,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // abort from their last checkpoint), and stop the workers. Returns nil when
 // every accepted job ended terminal; ctx bounds the whole wait.
 func (s *Server) Drain(ctx context.Context) error {
-	s.admitMu.Lock()
-	s.draining.Store(true)
-	s.admitMu.Unlock()
-	close(s.drainCh)
+	s.drainOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining.Store(true)
+		s.admitMu.Unlock()
+		close(s.drainCh)
+	})
 
 	jobsDone := make(chan struct{})
 	go func() {
@@ -312,6 +437,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return fmt.Errorf("server: drain aborted: %w", ctx.Err())
 	}
 	s.workerWG.Wait()
+	s.closeJournal()
 	return nil
 }
 
@@ -358,9 +484,14 @@ func (s *Server) worker() {
 // so this guards host-side setup — no job input may kill the daemon.
 func (s *Server) run(j *job) {
 	defer s.jobWG.Done()
+	var sp *spiller
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			if sp != nil {
+				sp.stop()
+				sp = nil
+			}
 			s.finish(j, engine.StopError, fmt.Errorf("server: job panicked: %v", r), nil)
 		}
 	}()
@@ -371,17 +502,33 @@ func (s *Server) run(j *job) {
 	}
 	cfg := j.cfg
 	cfg.Scheme = scheme
-	m, err := engine.NewMachine(cfg)
-	if err == nil {
-		err = m.LoadImage(j.im)
+	if s.dur != nil && cfg.CheckpointEvery > 0 {
+		sp = s.newSpiller(j.id)
+		cfg.CheckpointSink = sp.sink
 	}
-	if err == nil {
+	var m *engine.Machine
+	var err error
+	if snap := j.resumeSnap; snap != nil {
+		// Restart recovery: rebuild the machine from the spilled cut instead
+		// of loading the image from scratch. One shot — drop the reference so
+		// the decoded snapshot isn't pinned for the job's lifetime.
+		j.resumeSnap = nil
+		m, err = engine.ResumeFromSnapshot(cfg, snap)
+	} else {
+		m, err = engine.NewMachine(cfg)
+		if err == nil {
+			err = m.LoadImage(j.im)
+		}
 		for i := 0; i < j.threads && err == nil; i++ {
 			_, err = m.SpawnThread(j.im.Entry, j.arg)
 		}
 	}
 	if err != nil {
 		s.breakers.report(scheme, probe, false)
+		if sp != nil {
+			sp.stop()
+			sp = nil
+		}
 		s.finish(j, engine.StopError, err, nil)
 		return
 	}
@@ -396,12 +543,19 @@ func (s *Server) run(j *job) {
 	j.machine = m
 	j.cancel = cancel
 	j.mu.Unlock()
+	s.journalAppend(durable.Record{Type: durable.TypeStarted, Job: j.id, Resumes: j.resumes})
 	if s.killed.Load() {
 		cancel()
 	}
 
 	runErr := m.RunContext(ctx)
 	s.breakers.report(scheme, probe, schemeTripworthy(runErr))
+	if sp != nil {
+		// The machine has stopped, so no further sink calls: flush the last
+		// spill before finish journals the terminal record and deletes it.
+		sp.stop()
+		sp = nil
+	}
 	s.finish(j, engine.ClassifyStop(runErr), runErr, m)
 }
 
@@ -419,7 +573,6 @@ func (s *Server) finish(j *job, class engine.StopClass, err error, m *engine.Mac
 		s.failed.Add(1)
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.status.State = st
 	j.status.FinishedAt = time.Now()
 	j.status.Class = class.String()
@@ -445,6 +598,11 @@ func (s *Server) finish(j *job, class engine.StopClass, err error, m *engine.Mac
 	}
 	j.machine = nil
 	j.cancel = nil
+	final := j.status
+	j.mu.Unlock()
+	// Journal the terminal state outside the job lock (an append can rotate
+	// into compaction, which re-reads every job's status).
+	s.journalFinish(j, final)
 }
 
 // --- HTTP ---
@@ -476,10 +634,22 @@ func (s *Server) Handler() http.Handler {
 				if !ok {
 					se = &SubmitError{Status: http.StatusInternalServerError, Msg: err.Error()}
 				}
+				if se.ID != "" {
+					// Keyed shed: hand back the id so the client can GET the
+					// distinct "shed" answer (and retry the key later).
+					s.writeJSON(w, se.Status, map[string]string{"error": se.Msg, "id": se.ID, "reason": "shed"})
+					return
+				}
 				s.httpError(w, se.Status, se.Msg)
 				return
 			}
-			s.writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+			// An idempotent re-submit returns the original job, which may
+			// already have progressed past queued; report its actual state.
+			state := string(StateQueued)
+			if st, ok := s.Status(id); ok {
+				state = string(st.State)
+			}
+			s.writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": state})
 		case http.MethodGet:
 			s.writeJSON(w, http.StatusOK, s.Jobs())
 		default:
@@ -490,6 +660,20 @@ func (s *Server) Handler() http.Handler {
 		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
 		st, ok := s.Status(id)
 		if !ok {
+			s.mu.Lock()
+			key, shed := s.shedByID[id]
+			s.mu.Unlock()
+			if shed {
+				// Distinct from "never seen": this id was allocated to a keyed
+				// submission and shed at admission. Re-submitting the key is a
+				// fresh attempt.
+				s.writeJSON(w, http.StatusNotFound, map[string]string{
+					"error":           "job " + id + " was shed at admission",
+					"reason":          "shed",
+					"idempotency_key": key,
+				})
+				return
+			}
 			s.httpError(w, http.StatusNotFound, "no such job "+id)
 			return
 		}

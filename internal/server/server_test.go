@@ -55,7 +55,10 @@ func main(n) {
 
 func newTestServer(t *testing.T, opts Options) *Server {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -164,9 +167,9 @@ func TestAdmissionRejectsBadFaultRules(t *testing.T) {
 	// with an error naming the offending field, before the job is queued.
 	s := newTestServer(t, Options{Workers: 1, AllowFaultInjection: true})
 	cases := []struct {
-		name  string
-		rule  FaultRule
-		want  string
+		name string
+		rule FaultRule
+		want string
 	}{
 		{"unknown op", FaultRule{Op: "txn-retire", Action: "abort"}, "fault[0].op"},
 		{"unknown action", FaultRule{Op: "txn-commit", Action: "explode"}, "fault[0].action"},
@@ -309,7 +312,10 @@ func TestBreakerDemotesToHSTAndProbes(t *testing.T) {
 }
 
 func TestDrainFinishesAcceptedJobsAndRefusesNew(t *testing.T) {
-	s := New(Options{Workers: 2, QueueDepth: 8, DrainGrace: 100 * time.Millisecond})
+	s, err := New(Options{Workers: 2, QueueDepth: 8, DrainGrace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var ids []string
 	for i := 0; i < 2; i++ {
 		id, err := s.Submit(JobRequest{Scheme: "pico-cas", GAC: counterGAC, Arg: 2_000})

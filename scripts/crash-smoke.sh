@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Crash smoke test, run by the CI crash-smoke job and usable locally: build
+# atomemud, start it durable (-data-dir), submit a keyed checkpointing job,
+# wait for a checkpoint to hit the disk, SIGKILL the daemon mid-run, restart
+# it over the same data directory, and require that the job survived — same
+# id for the key, terminal "done" with the right output, and a replay that
+# skipped no corrupt records.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+dpid=""
+cleanup() {
+    [ -n "$dpid" ] && kill -9 "$dpid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/atomemud" ./cmd/atomemud
+ddir="$tmp/data"
+
+start_daemon() { # $1 = log file
+    "$tmp/atomemud" -addr 127.0.0.1:0 -workers 2 -drain-grace 2s \
+        -data-dir "$ddir" -fsync always >"$1" 2>&1 &
+    dpid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$1" | head -1)
+        if [ -n "$addr" ] && curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        addr=""
+        sleep 0.1
+    done
+    echo "FAIL: daemon never became ready"
+    cat "$1"
+    exit 1
+}
+
+metric() { # $1 = series name; prints its value (0 if absent)
+    curl -fsS "http://$addr/metrics" | awk -v n="$1" '$1 == n { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+start_daemon "$tmp/daemon1.log"
+echo "durable daemon up on $addr (data in $ddir)"
+
+# One keyed long job that checkpoints often: a million atomic increments.
+counter_gac='var c; func main(n) { var i = 0; while (i < n) { atomic_add(&c, 1); i = i + 1; } print(c); exit(0); }'
+id=$(curl -fsS "http://$addr/jobs" -d "{\"scheme\":\"pico-cas\",\"arg\":1000000,\"idempotency_key\":\"crash-smoke\",\"gac\":\"$counter_gac\",\"config\":{\"checkpoint_every\":5000}}" \
+    | grep -o 'job-[0-9]*' | head -1)
+[ -n "$id" ] || { echo "FAIL: no job id from submit"; exit 1; }
+echo "submitted $id (key crash-smoke)"
+
+# Wait for durable state worth killing over: at least one spilled checkpoint.
+spilled=0
+for _ in $(seq 1 200); do
+    spilled=$(metric atomemu_ckpt_spill_total)
+    [ "${spilled%.*}" -ge 1 ] 2>/dev/null && break
+    sleep 0.05
+done
+[ "${spilled%.*}" -ge 1 ] || { echo "FAIL: no checkpoint spill before kill"; cat "$tmp/daemon1.log"; exit 1; }
+records=$(metric atomemu_journal_records_total)
+echo "checkpoint spilled (spills=$spilled journal_records=$records) — SIGKILL"
+
+kill -9 "$dpid"
+wait "$dpid" 2>/dev/null || true
+dpid=""
+
+start_daemon "$tmp/daemon2.log"
+echo "daemon restarted on $addr"
+
+# The acknowledged job must not be lost, and replay must be clean.
+curl -fsS "http://$addr/jobs/$id" >/dev/null || { echo "FAIL: $id lost across SIGKILL"; exit 1; }
+corrupt=$(metric atomemu_journal_corrupt_records_total)
+[ "${corrupt%.*}" = "0" ] || { echo "FAIL: replay skipped $corrupt corrupt records"; exit 1; }
+resumed=$(metric atomemu_restart_jobs_resumed_total)
+requeued=$(metric atomemu_restart_jobs_requeued_total)
+[ "${resumed%.*}" -ge 1 ] || { echo "FAIL: job did not resume from its checkpoint (resumed=$resumed requeued=$requeued)"; cat "$tmp/daemon2.log"; exit 1; }
+echo "recovery ok (resumed=$resumed requeued=$requeued corrupt=$corrupt)"
+
+# The idempotency key keeps answering the same id — no duplicate admission.
+rid=$(curl -fsS "http://$addr/jobs" -d "{\"scheme\":\"pico-cas\",\"arg\":1000000,\"idempotency_key\":\"crash-smoke\",\"gac\":\"$counter_gac\",\"config\":{\"checkpoint_every\":5000}}" \
+    | grep -o 'job-[0-9]*' | head -1)
+[ "$rid" = "$id" ] || { echo "FAIL: key answered $rid after restart, want $id"; exit 1; }
+echo "idempotent re-submit ok ($rid)"
+
+# The resumed job must still produce the uninterrupted result.
+body=""
+for _ in $(seq 1 600); do
+    body=$(curl -fsS "http://$addr/jobs/$id")
+    case "$body" in
+    *'"state":"done"'* | *'"state":"failed"'* | *'"state":"canceled"'*) break ;;
+    esac
+    sleep 0.1
+done
+echo "$body" | grep -q '"state":"done"' || { echo "FAIL: resumed job: $body"; cat "$tmp/daemon2.log"; exit 1; }
+echo "$body" | grep -Eq '"output":\[[^]]*\b1000000\b' || { echo "FAIL: resumed output: $body"; exit 1; }
+echo "resumed job finished with the uninterrupted output"
+
+kill -TERM "$dpid"
+rc=0
+wait "$dpid" || rc=$?
+dpid=""
+[ "$rc" = "0" ] || { echo "FAIL: daemon exited $rc after SIGTERM"; cat "$tmp/daemon2.log"; exit 1; }
+echo "PASS"

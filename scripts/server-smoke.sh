@@ -3,6 +3,8 @@
 # build atomemud, start it on an ephemeral port, submit PICO-CAS and HST
 # jobs over HTTP, assert their results and the error path, then SIGTERM
 # the daemon with a slow job in flight and require a clean (exit 0) drain.
+# A second durable phase restarts the daemon over a -data-dir and asserts
+# the journal_*/ckpt_spill_* metrics and job survival across the restart.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -113,4 +115,70 @@ if [ "$rc" != "0" ]; then
 fi
 grep -q "drained clean" "$tmp/daemon.log" || { echo "FAIL: no clean-drain log"; cat "$tmp/daemon.log"; exit 1; }
 echo "SIGTERM drain ok (slow job $slow_id cancelled within grace)"
+
+# --- durable phase: journal/spill metrics and survival across a restart ---
+
+ddir="$tmp/data"
+start_durable() { # $1 = log file
+    "$tmp/atomemud" -addr 127.0.0.1:0 -workers 2 -drain-grace 2s -data-dir "$ddir" >"$1" 2>&1 &
+    dpid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$1" | head -1)
+        if [ -n "$addr" ] && curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        addr=""
+        sleep 0.1
+    done
+    echo "FAIL: durable daemon never became ready"
+    cat "$1"
+    exit 1
+}
+metric() { # $1 = series name; prints its value (0 if absent)
+    curl -fsS "http://$addr/metrics" | awk -v n="$1" '$1 == n { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+start_durable "$tmp/durable1.log"
+echo "durable daemon up on $addr"
+
+dur_id=$(submit "{\"scheme\":\"pico-cas\",\"arg\":20000,\"idempotency_key\":\"smoke-key\",\"gac\":\"$counter_gac\",\"config\":{\"checkpoint_every\":2000}}")
+body=$(await "$dur_id")
+echo "$body" | grep -q '"state":"done"' || { echo "FAIL: durable job: $body"; exit 1; }
+echo "$body" | grep -Eq '"output":\[[^]]*\b20000\b' || { echo "FAIL: durable output: $body"; exit 1; }
+
+# The new durability series must be present and moving on a durable server.
+[ "$(metric atomemu_journal_records_total | cut -d. -f1)" -ge 1 ] || { echo "FAIL: journal_records_total never advanced"; exit 1; }
+[ "$(metric atomemu_ckpt_spill_total | cut -d. -f1)" -ge 1 ] || { echo "FAIL: ckpt_spill_total never advanced"; exit 1; }
+[ "$(metric atomemu_ckpt_spill_errors_total | cut -d. -f1)" = "0" ] || { echo "FAIL: checkpoint spill errors"; exit 1; }
+[ "$(metric atomemu_journal_errors_total | cut -d. -f1)" = "0" ] || { echo "FAIL: journal errors"; exit 1; }
+echo "durability metrics ok (records=$(metric atomemu_journal_records_total) spills=$(metric atomemu_ckpt_spill_total))"
+
+kill -TERM "$dpid"
+rc=0
+wait "$dpid" || rc=$?
+dpid=""
+[ "$rc" = "0" ] || { echo "FAIL: durable daemon exited $rc after SIGTERM"; cat "$tmp/durable1.log"; exit 1; }
+
+start_durable "$tmp/durable2.log"
+echo "durable daemon restarted on $addr"
+
+# The finished job survives the restart with its result intact…
+body=$(curl -fsS "http://$addr/jobs/$dur_id")
+echo "$body" | grep -q '"state":"done"' || { echo "FAIL: job lost across restart: $body"; exit 1; }
+echo "$body" | grep -Eq '"output":\[[^]]*\b20000\b' || { echo "FAIL: output lost across restart: $body"; exit 1; }
+# …the replay metrics say so, cleanly…
+[ "$(metric atomemu_journal_replayed_records_total | cut -d. -f1)" -ge 1 ] || { echo "FAIL: nothing replayed after restart"; exit 1; }
+[ "$(metric atomemu_restart_jobs_terminal_total | cut -d. -f1)" -ge 1 ] || { echo "FAIL: terminal job not re-registered"; exit 1; }
+[ "$(metric atomemu_journal_corrupt_records_total | cut -d. -f1)" = "0" ] || { echo "FAIL: corrupt records in a clean restart"; exit 1; }
+# …and the idempotency key still answers the original id.
+rid=$(submit "{\"scheme\":\"pico-cas\",\"arg\":20000,\"idempotency_key\":\"smoke-key\",\"gac\":\"$counter_gac\",\"config\":{\"checkpoint_every\":2000}}")
+[ "$rid" = "$dur_id" ] || { echo "FAIL: key answered $rid after restart, want $dur_id"; exit 1; }
+echo "restart recovery ok ($dur_id survived, key idempotent)"
+
+kill -TERM "$dpid"
+rc=0
+wait "$dpid" || rc=$?
+dpid=""
+[ "$rc" = "0" ] || { echo "FAIL: durable daemon exited $rc on final SIGTERM"; cat "$tmp/durable2.log"; exit 1; }
 echo "PASS"
