@@ -23,7 +23,14 @@
 //	                           exits nonzero if any job is lost, any idempotent
 //	                           submit duplicates, or any output diverges from an
 //	                           uninterrupted reference (not part of "all")
-//	atomemu-bench all          everything above except crashsoak
+//	atomemu-bench fabricsoak   multi-node failover proof: an in-process router
+//	                           over -fabric-workers worker daemons, one daemon
+//	                           SIGKILLed once a checkpoint is cached for its
+//	                           in-flight work; exits nonzero unless 0 jobs are
+//	                           lost, 0 duplicated, ≥1 checkpoint-resumed and
+//	                           every output matches an uninterrupted reference
+//	                           (not part of "all")
+//	atomemu-bench all          everything above except crashsoak and fabricsoak
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
 // Seed-driven experiments (adversary, soak, resilience) share the single
@@ -56,6 +63,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "crashsoak-serve" {
 		return runCrashsoakServe(args[1:])
 	}
+	if len(args) > 0 && args[0] == "fabric-serve" {
+		return runFabricServe(args[1:])
+	}
 	fs := flag.NewFlagSet("atomemu-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "work scale factor (1.0 = full-size runs)")
 	threadsFlag := fs.String("threads", "", "comma-separated thread counts (default: per-figure sweep)")
@@ -73,13 +83,15 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "experiment seed (adversary, soak, resilience); recorded in CSV headers")
 	crashCycles := fs.Int("crash-cycles", 3, "SIGKILL cycles for the crashsoak run")
 	crashJobs := fs.Int("crash-jobs", 6, "keyed jobs for the crashsoak run")
+	fabricFleet := fs.Int("fabric-workers", 3, "worker daemons for the fabricsoak run")
+	fabricJobs := fs.Int("fabric-jobs", 8, "keyed jobs for the fabricsoak run")
 	advRuns := fs.Int("runs", 40, "scenario budget for the adversary search")
 	advMaxSteps := fs.Uint64("max-steps", 0, "per-scenario step budget for the adversary search (0 = default)")
 	advTargets := fs.String("targets", "", "comma-separated workload targets for the adversary search (default: all)")
 	advFree := fs.Bool("free", false, "let the adversary search explore free-running mode too")
 	require := fs.String("require", "", "fail the adversary search unless a property held (strict-livelock)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|crashsoak|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|crashsoak|fabricsoak|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -232,6 +244,17 @@ func run(args []string) error {
 			return runCrashsoak(crashsoakConfig{
 				Cycles:  *crashCycles,
 				Jobs:    *crashJobs,
+				Workers: *soakWorkers,
+				Queue:   *soakQueue,
+				Scale:   *scale,
+				OutDir:  *outDir,
+				Quiet:   *quiet,
+			})
+		},
+		"fabricsoak": func() error {
+			return runFabricsoak(fabricsoakConfig{
+				Fleet:   *fabricFleet,
+				Jobs:    *fabricJobs,
 				Workers: *soakWorkers,
 				Queue:   *soakQueue,
 				Scale:   *scale,

@@ -5,12 +5,16 @@
 // Endpoints:
 //
 //	POST /jobs        submit a server.JobRequest; 202 with {"id": ...},
-//	                  400 on a bad request, 429 when the queue is full,
-//	                  503 while draining
+//	                  400 on a bad request, 429 (with Retry-After) when
+//	                  the queue is full, 503 while draining
 //	GET  /jobs        list all job statuses
 //	GET  /jobs/{id}   one job's status (live counters while running)
+//	GET  /jobs/{id}/checkpoint  latest live checkpoint as an ACKP image
+//	POST /jobs/{id}/resume      admit a job resuming from a shipped ACKP
+//	                  snapshot (router failover hand-off)
 //	GET  /healthz     liveness + metrics (always 200 while the process is up)
-//	GET  /readyz      admission readiness (503 once draining starts)
+//	GET  /readyz      admission readiness (503 once draining starts or
+//	                  while journal replay is still running, Retry-After set)
 //	GET  /statz       metrics + per-scheme circuit-breaker states
 //	GET  /metrics     Prometheus text exposition (counters, breaker
 //	                  gauges, engine totals, per-scheme latency histograms)
@@ -82,15 +86,23 @@ func run() error {
 		DataDir:                *dataDir,
 		Fsync:                  *fsync,
 		MaxRestartResumes:      *maxResumes,
+		BackgroundReplay:       true,
 		Logger:                 log.Default(),
 	})
 	if err != nil {
 		return err
 	}
 	if *dataDir != "" {
-		m := s.Metrics()
-		log.Printf("atomemud: durable in %s (fsync=%s, replayed=%d records, resumed=%d requeued=%d terminal=%d)",
-			*dataDir, *fsync, m.JournalReplayed, m.RestartResumed, m.RestartRequeued, m.RestartTerminal)
+		// Replay runs behind the 503 readiness window; log its outcome once
+		// it settles so the listener is up while recovery is still reading.
+		go func() {
+			if err := s.WaitReady(context.Background()); err != nil {
+				return
+			}
+			m := s.Metrics()
+			log.Printf("atomemud: durable in %s (fsync=%s, replayed=%d records, resumed=%d requeued=%d terminal=%d)",
+				*dataDir, *fsync, m.JournalReplayed, m.RestartResumed, m.RestartRequeued, m.RestartTerminal)
+		}()
 	}
 
 	if *pprofAddr != "" {

@@ -75,6 +75,17 @@ type frameBlobRef struct {
 	Blob  uint32 `json:"blob"`
 }
 
+// EncodeBytes renders snap to its versioned binary form in memory — the
+// shape checkpoint hand-offs want (HTTP bodies, router-side caches), where
+// the image is shipped whole rather than streamed.
+func EncodeBytes(snap *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Encode writes snap in the versioned binary format. The snapshot is read
 // but never mutated, so encoding may run concurrently with further
 // captures and restores of the same (immutable) snapshot.

@@ -52,6 +52,8 @@ import (
 //	checkpointed Job, VirtualTime (a durable snapshot exists on disk)
 //	finished     Job, Status (final JobStatus wire JSON)
 //	shed         Key (a keyed submission was shed at admission)
+//	dispatched   Job, Worker, WorkerJob, Resumes (a router handed the job
+//	             to a worker; the router journal's analogue of "started")
 type Record struct {
 	Type        string          `json:"type"`
 	Job         string          `json:"job,omitempty"`
@@ -61,6 +63,10 @@ type Record struct {
 	Status      json.RawMessage `json:"status,omitempty"`
 	VirtualTime uint64          `json:"virtual_time,omitempty"`
 	Resumes     int             `json:"resumes,omitempty"`
+	// Worker and WorkerJob are set on router dispatch records: the worker
+	// base URL the job went to and the job id it answers to there.
+	Worker    string `json:"worker,omitempty"`
+	WorkerJob string `json:"worker_job,omitempty"`
 }
 
 // Record types.
@@ -70,6 +76,7 @@ const (
 	TypeCheckpointed = "checkpointed"
 	TypeFinished     = "finished"
 	TypeShed         = "shed"
+	TypeDispatched   = "dispatched"
 )
 
 // SyncPolicy selects when appends reach the platters.

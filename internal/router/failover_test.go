@@ -1,0 +1,206 @@
+package router
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"atomemu/internal/server"
+)
+
+// reListen rebinds a worker's old address, simulating its process coming
+// back after a crash.
+func reListen(addr string) (net.Listener, error) {
+	var (
+		ln  net.Listener
+		err error
+	)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// TestFailoverResumesFromShippedCheckpoint is the fabric's core promise
+// under -race: three workers, a burst of keyed jobs, one worker hard-
+// killed mid-burst (listener torn down, its server left running as a
+// partitioned zombie). Every job must still finish exactly once with
+// output byte-identical to an uninterrupted single-node run, and at
+// least one failed-over job must have resumed from a checkpoint the
+// router shipped to a survivor rather than restarting from scratch.
+func TestFailoverResumesFromShippedCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet soak")
+	}
+	workers := []*testWorker{
+		startWorker(t, server.Options{Workers: 3, QueueDepth: 32}),
+		startWorker(t, server.Options{Workers: 3, QueueDepth: 32}),
+		startWorker(t, server.Options{Workers: 3, QueueDepth: 32}),
+	}
+	urls := []string{workers[0].url(), workers[1].url(), workers[2].url()}
+	byURL := map[string]*testWorker{}
+	for _, w := range workers {
+		byURL[w.url()] = w
+	}
+	r := newTestRouter(t, fastOptions(urls...))
+
+	// Long enough that the kill lands mid-run for most of the burst;
+	// milestone prints make lost or repeated work visible in the sequence.
+	const jobs = 8
+	args := make([]uint32, jobs)
+	refs := make([][]uint32, jobs)
+	for i := range args {
+		args[i] = uint32(100 + 40*i)
+		refs[i] = referenceOutput(t, milestoneGAC, args[i])
+	}
+
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		id, err := r.Submit(server.JobRequest{
+			Scheme: "pico-cas", GAC: milestoneGAC, Arg: args[i],
+			DeadlineMS:     120_000,
+			IdempotencyKey: fmt.Sprintf("soak-%d", i),
+			Config:         server.JobConfig{CheckpointEvery: 5000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	// Wait until the router has cached a checkpoint for some dispatched
+	// job — that job's worker is the victim, so the kill provably strands
+	// resumable state.
+	var victim string
+	deadline := time.Now().Add(30 * time.Second)
+	for victim == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint was cached for any dispatched job")
+		}
+		r.mu.Lock()
+		for _, id := range ids {
+			j := r.jobs[id]
+			if j.state == jobDispatched && j.ckptVT > 0 {
+				victim = j.worker
+				break
+			}
+		}
+		r.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("killing %s mid-burst", victim)
+	byURL[victim].kill()
+
+	// Every job still completes, exactly once, with the uninterrupted
+	// output.
+	for i, id := range ids {
+		v := awaitRouterTerminal(t, r, id, 180*time.Second)
+		if v.State != jobDone {
+			t.Fatalf("job %d (%s): state=%s err=%q", i, id, v.State, v.Error)
+		}
+		if v.Worker == victim {
+			t.Fatalf("job %d finalized from the killed worker %s", i, victim)
+		}
+		if v.Status == nil || !equalOutputs(v.Status.Output, refs[i]) {
+			t.Fatalf("job %d output diverged from the uninterrupted reference\n got: %v\nwant: %v",
+				i, v.Status.Output, refs[i])
+		}
+	}
+
+	// 0 lost / 0 duplicated at the router boundary: every key still maps
+	// to its original id and exactly `jobs` jobs completed.
+	for i, want := range ids {
+		id, err := r.Submit(server.JobRequest{
+			Scheme: "pico-cas", GAC: milestoneGAC, Arg: args[i],
+			IdempotencyKey: fmt.Sprintf("soak-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("key soak-%d resolved to %s after failover, want %s", i, id, want)
+		}
+	}
+	if got := r.completed.Load(); got != jobs {
+		t.Fatalf("completed = %d, want exactly %d", got, jobs)
+	}
+
+	// The kill was detected (down transition, ring eviction) and at least
+	// one in-flight job was re-dispatched with a shipped checkpoint.
+	if got := r.failoverRedispatch.Load(); got < 1 {
+		t.Fatalf("failover redispatches = %d, want >= 1", got)
+	}
+	if got := r.failoverResumed.Load(); got < 1 {
+		t.Fatalf("checkpoint-resumed failovers = %d, want >= 1", got)
+	}
+	r.mu.Lock()
+	vw := r.workers[victim]
+	state, downs := vw.state, vw.downs
+	r.mu.Unlock()
+	if state != stateDown || downs < 1 {
+		t.Fatalf("victim health = %v (downs=%d), want down with a recorded transition", state, downs)
+	}
+	if r.ringSize() != len(urls)-1 {
+		t.Fatalf("ring size = %d after eviction, want %d", r.ringSize(), len(urls)-1)
+	}
+}
+
+// TestWorkerRejoinsAfterRecovery: a down worker that starts answering
+// probes again rejoins the ring automatically.
+func TestWorkerRejoinsAfterRecovery(t *testing.T) {
+	w1 := startWorker(t, server.Options{})
+	w2 := startWorker(t, server.Options{})
+	r := newTestRouter(t, fastOptions(w1.url(), w2.url()))
+
+	// Make w2 unreachable long enough for the down transition...
+	w2.ts.CloseClientConnections()
+	w2.ts.Listener.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r.mu.Lock()
+		st := r.workers[w2.url()].state
+		r.mu.Unlock()
+		if st == stateDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never went down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.ringSize() != 1 {
+		t.Fatalf("ring size = %d with one worker down, want 1", r.ringSize())
+	}
+	// ...then bring a listener back on the same address.
+	// Serve on a fresh listener bound to the old address; mutating
+	// w2.ts.Listener would race with httptest's serve goroutine.
+	ln, err := reListen(w2.ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatalf("relistening on %s: %v", w2.ts.Listener.Addr(), err)
+	}
+	w2.reborn = ln
+	go w2.ts.Config.Serve(ln)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		r.mu.Lock()
+		wv := r.workers[w2.url()]
+		st, rejoins := wv.state, wv.rejoins
+		r.mu.Unlock()
+		if st == stateHealthy && rejoins >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never rejoined (state=%v)", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.ringSize() != 2 {
+		t.Fatalf("ring size = %d after rejoin, want 2", r.ringSize())
+	}
+}

@@ -1,0 +1,368 @@
+package router
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"atomemu/internal/durable"
+	"atomemu/internal/server"
+)
+
+// dispatchResp is the decoded outcome of one dispatch POST.
+type dispatchResp struct {
+	code    int
+	id      string // worker-side job id on 202
+	resumed bool   // worker adopted the shipped snapshot
+	errMsg  string // body text on non-202
+}
+
+// postDispatch performs the worker hand-off: POST /jobs with the original
+// wire request, or POST /jobs/{routerID}/resume shipping the cached ACKP
+// image when this is a checkpoint-carrying failover re-dispatch. The
+// router id names the resume so the worker's synthetic idempotency key
+// ("resume:<routerID>") stays stable across re-ships.
+func (r *Router) postDispatch(url, routerID string, raw []byte, req server.JobRequest, useCkpt bool, ckpt []byte, resumes int) (*dispatchResp, error) {
+	var (
+		target string
+		body   []byte
+		err    error
+	)
+	if useCkpt {
+		target = url + "/jobs/" + routerID + "/resume"
+		body, err = json.Marshal(server.ResumeRequest{
+			Request:     req,
+			SnapshotB64: base64.StdEncoding.EncodeToString(ckpt),
+			Resumes:     resumes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("encoding resume: %w", err)
+		}
+	} else {
+		target = url + "/jobs"
+		body = raw
+	}
+	resp, err := r.client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	out := &dispatchResp{code: resp.StatusCode}
+	if resp.StatusCode == http.StatusAccepted {
+		var ack struct {
+			ID      string `json:"id"`
+			Resumed bool   `json:"resumed"`
+		}
+		if err := json.Unmarshal(data, &ack); err != nil || ack.ID == "" {
+			return nil, fmt.Errorf("bad accept body %q", string(data))
+		}
+		out.id, out.resumed = ack.ID, ack.Resumed
+		return out, nil
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(data, &eb)
+	out.errMsg = eb.Error
+	if out.errMsg == "" {
+		out.errMsg = string(data)
+	}
+	return out, nil
+}
+
+// pollLoop reconciles dispatched jobs against their workers every
+// PollInterval: terminal statuses finalize the router job, running jobs
+// with checkpointing enabled get their latest checkpoint image fetched
+// and cached (the image failover will ship), and a worker that has
+// forgotten a job — an in-memory restart — triggers immediate failover.
+func (r *Router) pollLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.opts.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-tick.C:
+		}
+		r.pollOnce()
+	}
+}
+
+// pollOnce runs one reconciliation sweep. Jobs are grouped by worker and a
+// worker is abandoned for the sweep on its first transport error — one
+// dead worker must cost one health-machine failure per sweep, not one per
+// in-flight job (which would rocket consecFails past the down threshold
+// in a single sweep).
+func (r *Router) pollOnce() {
+	type ref struct {
+		j         *job
+		workerJob string
+		fetchCkpt bool
+	}
+	now := time.Now()
+	r.mu.Lock()
+	byWorker := make(map[string][]ref)
+	for _, j := range r.jobs {
+		if j.state != jobDispatched {
+			continue
+		}
+		fetch := j.req.Config.CheckpointEvery > 0 &&
+			now.Sub(j.lastCkptFetch) >= r.opts.CheckpointFetchInterval
+		if fetch {
+			j.lastCkptFetch = now
+		}
+		byWorker[j.worker] = append(byWorker[j.worker], ref{
+			j:         j,
+			workerJob: j.workerJob,
+			fetchCkpt: fetch,
+		})
+	}
+	r.mu.Unlock()
+
+	for url, refs := range byWorker {
+		for _, p := range refs {
+			st, code, err := r.fetchStatus(url, p.workerJob)
+			if err != nil {
+				r.noteWorkerFailure(url, "poll: "+err.Error())
+				break // skip this worker's remaining jobs this sweep
+			}
+			switch {
+			case code == http.StatusNotFound:
+				// The worker restarted without durability (or another router's
+				// drain flushed it): the job is gone there. Re-dispatch.
+				r.mu.Lock()
+				if p.j.state == jobDispatched && p.j.worker == url {
+					r.failoverLocked(p.j, fmt.Sprintf("worker %s no longer knows job %s", url, p.workerJob))
+				}
+				r.mu.Unlock()
+			case code == http.StatusOK && st != nil && st.State.Terminal():
+				r.finalize(p.j, url, st)
+			case code == http.StatusOK && p.fetchCkpt:
+				r.fetchCheckpoint(p.j, url, p.workerJob)
+			}
+		}
+	}
+}
+
+// fetchStatus GETs one worker-side job status. A non-200/404 code is
+// reported as an error (it implicates the worker, not the job).
+func (r *Router) fetchStatus(url, workerJob string) (*server.JobStatus, int, error) {
+	resp, err := r.client.Get(url + "/jobs/" + workerJob)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var st server.JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, 0, fmt.Errorf("bad status body: %w", err)
+		}
+		return &st, http.StatusOK, nil
+	case http.StatusNotFound:
+		return nil, http.StatusNotFound, nil
+	default:
+		return nil, 0, fmt.Errorf("status: HTTP %d", resp.StatusCode)
+	}
+}
+
+// fetchCheckpoint pulls the job's latest live checkpoint image and caches
+// it as the failover resume point. 404 (not running / no checkpoint yet)
+// is a non-event; transport errors are left to the status poll to count.
+func (r *Router) fetchCheckpoint(j *job, url, workerJob string) {
+	resp, err := r.client.Get(url + "/jobs/" + workerJob + "/checkpoint")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return
+	}
+	vt, _ := strconv.ParseUint(resp.Header.Get("X-Atomemu-Virtual-Time"), 10, 64)
+	r.mu.Lock()
+	if j.state == jobDispatched && j.worker == url && vt >= j.ckptVT {
+		j.ckpt = data
+		j.ckptVT = vt
+	}
+	r.mu.Unlock()
+	r.ckptFetches.Add(1)
+	r.ckptFetchBytes.Add(uint64(len(data)))
+}
+
+// failoverLocked re-queues a dispatched job whose worker is gone, arming
+// the cached checkpoint (if any) for a resume-style re-dispatch. r.mu held.
+func (r *Router) failoverLocked(j *job, why string) {
+	j.resumes++
+	j.worker, j.workerJob = "", ""
+	j.rounds = 0
+	j.resumed = false
+	j.useCkpt = len(j.ckpt) > 0
+	t := r.tenants[j.tenant]
+	t.inflight--
+	r.failoverRedispatch.Add(1)
+	if j.useCkpt {
+		r.opts.Logger.Printf("router: failing over %s (%s), shipping checkpoint at vt=%d", j.id, why, j.ckptVT)
+	} else {
+		r.opts.Logger.Printf("router: failing over %s (%s), no checkpoint cached, restarting", j.id, why)
+	}
+	r.enqueueLocked(t, j)
+}
+
+// failoverWorkerLocked fails over every job in flight on a worker that
+// just went down. r.mu held (called from the health machine's down
+// transition).
+func (r *Router) failoverWorkerLocked(url string) {
+	for _, j := range r.jobs {
+		if j.state == jobDispatched && j.worker == url {
+			r.failoverLocked(j, "worker down")
+		}
+	}
+}
+
+// finalize records a worker-terminal status as the job's final state.
+func (r *Router) finalize(j *job, url string, st *server.JobStatus) {
+	now := time.Now()
+	r.mu.Lock()
+	if j.state != jobDispatched || j.worker != url {
+		r.mu.Unlock()
+		return
+	}
+	if st.State == server.StateDone {
+		j.state = jobDone
+	} else {
+		j.state = jobFailed
+		j.errMsg = st.Error
+	}
+	j.final = st
+	j.finishedAt = now
+	j.ckpt = nil
+	t := r.tenants[j.tenant]
+	t.inflight--
+	t.live--
+	t.noteFinish(now)
+	if j.state == jobDone {
+		t.completed++
+	} else {
+		t.failed++
+	}
+	r.mu.Unlock()
+	if j.state == jobDone {
+		r.completed.Add(1)
+	} else {
+		r.failed.Add(1)
+	}
+	r.journalFinish(j)
+}
+
+// JobView is the router's wire representation of one job.
+type JobView struct {
+	ID        string   `json:"id"`
+	Tenant    string   `json:"tenant"`
+	State     jobState `json:"state"`
+	Worker    string   `json:"worker,omitempty"`
+	WorkerJob string   `json:"worker_job,omitempty"`
+	// Resumes counts failover re-dispatches; Resumed reports whether the
+	// current (or final) dispatch continued from a shipped checkpoint.
+	Resumes int  `json:"resumes,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+	// CkptVirtualTime is the virtual time of the latest cached checkpoint
+	// image (the failover resume point).
+	CkptVirtualTime uint64 `json:"ckpt_virtual_time,omitempty"`
+	Error           string `json:"error,omitempty"`
+
+	EnqueuedAt   time.Time `json:"enqueued_at"`
+	DispatchedAt time.Time `json:"dispatched_at,omitempty"`
+	FinishedAt   time.Time `json:"finished_at,omitempty"`
+
+	// Status is the worker's JobStatus: final for terminal jobs, a live
+	// proxy snapshot for dispatched ones (absent when the worker cannot be
+	// reached).
+	Status *server.JobStatus `json:"status,omitempty"`
+}
+
+func (r *Router) viewLocked(j *job) JobView {
+	return JobView{
+		ID: j.id, Tenant: j.tenant, State: j.state,
+		Worker: j.worker, WorkerJob: j.workerJob,
+		Resumes: j.resumes, Resumed: j.resumed,
+		CkptVirtualTime: j.ckptVT, Error: j.errMsg,
+		EnqueuedAt: j.enqueuedAt, DispatchedAt: j.dispatchedAt,
+		FinishedAt: j.finishedAt, Status: j.final,
+	}
+}
+
+// Status returns one job's view. For a dispatched job the worker's live
+// status is proxied in best-effort.
+func (r *Router) Status(id string) (JobView, bool) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil {
+		r.mu.Unlock()
+		return JobView{}, false
+	}
+	v := r.viewLocked(j)
+	var url, workerJob string
+	if j.state == jobDispatched {
+		url, workerJob = j.worker, j.workerJob
+	}
+	r.mu.Unlock()
+	if url != "" {
+		if st, code, err := r.fetchStatus(url, workerJob); err == nil && code == http.StatusOK {
+			v.Status = st
+		}
+	}
+	return v, true
+}
+
+// Jobs lists every job's view (no live proxying), newest id last.
+func (r *Router) Jobs() []JobView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobView, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, r.viewLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return jobIDLess(out[i].ID, out[k].ID) })
+	return out
+}
+
+// jobIDLess orders "fab-N" ids numerically.
+func jobIDLess(a, b string) bool {
+	pa, _ := strconv.Atoi(strings.TrimPrefix(a, "fab-"))
+	pb, _ := strconv.Atoi(strings.TrimPrefix(b, "fab-"))
+	if pa != pb {
+		return pa < pb
+	}
+	return a < b
+}
+
+// journalFinish appends the job's terminal view to the router journal.
+func (r *Router) journalFinish(j *job) {
+	r.mu.Lock()
+	v := r.viewLocked(j)
+	r.mu.Unlock()
+	data, err := json.Marshal(v)
+	if err != nil {
+		r.opts.Logger.Printf("router: encoding final view of %s: %v", j.id, err)
+		return
+	}
+	r.journalAppend(durable.Record{
+		Type: durable.TypeFinished, Job: j.id, Key: j.key,
+		Status: json.RawMessage(data), UnixMS: v.FinishedAt.UnixMilli(),
+	})
+}

@@ -1,0 +1,133 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// ring is a consistent-hash ring over worker base URLs. Each member is
+// hashed onto the circle at `replicas` virtual points, so load spreads
+// evenly and removing one worker only reassigns that worker's arc (jobs
+// hashed to everyone else keep their owner — exactly the property that
+// makes failover cheap and rejoin non-disruptive).
+//
+// Candidates walks the circle clockwise from the key's point and returns
+// distinct members in encounter order: the first is the job's home, the
+// rest are its failover/backpressure spill sequence. The same key always
+// yields the same sequence for a given membership, so a bounced or failed-
+// over job lands deterministically.
+type ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []uint64          // sorted vnode hashes
+	owner    map[uint64]string // vnode hash -> member
+	members  map[string]bool
+}
+
+func newRing(replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		members:  make(map[string]bool),
+	}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone disperses poorly when inputs share long prefixes (vnode
+	// names differ only in a short suffix), which clumps ring points and
+	// skews load badly; a splitmix64 finalizer spreads the bits.
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// vnodeHash places virtual point i of a member on the circle.
+func vnodeHash(name string, i int) uint64 {
+	return mix64(hash64(name) + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// add inserts a member (idempotent).
+func (r *ring) add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[name] {
+		return
+	}
+	r.members[name] = true
+	for i := 0; i < r.replicas; i++ {
+		h := vnodeHash(name, i)
+		if _, taken := r.owner[h]; taken {
+			// A vnode collision across members: skip the point rather than
+			// silently stealing it. With 64-bit hashes this is cosmically
+			// rare; the member keeps its other replicas.
+			continue
+		}
+		r.owner[h] = name
+		r.points = append(r.points, h)
+	}
+	sort.Slice(r.points, func(i, k int) bool { return r.points[i] < r.points[k] })
+}
+
+// remove evicts a member (idempotent).
+func (r *ring) remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[name] {
+		return
+	}
+	delete(r.members, name)
+	keep := r.points[:0]
+	for _, h := range r.points {
+		if r.owner[h] == name {
+			delete(r.owner, h)
+			continue
+		}
+		keep = append(keep, h)
+	}
+	r.points = keep
+}
+
+// size reports the member count.
+func (r *ring) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// candidates returns up to n distinct members clockwise from key's point.
+func (r *ring) candidates(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		m := r.owner[r.points[(start+i)%len(r.points)]]
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicCandidates: the same key yields the same candidate
+// walk for a fixed membership.
+func TestRingDeterministicCandidates(t *testing.T) {
+	r := newRing(64)
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, m := range members {
+		r.add(m)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := r.candidates(key, 3)
+		if len(first) != 3 {
+			t.Fatalf("key %s: %d candidates, want 3", key, len(first))
+		}
+		seen := map[string]bool{}
+		for _, c := range first {
+			if seen[c] {
+				t.Fatalf("key %s: duplicate candidate %s", key, c)
+			}
+			seen[c] = true
+		}
+		for rep := 0; rep < 3; rep++ {
+			again := r.candidates(key, 3)
+			for k := range first {
+				if again[k] != first[k] {
+					t.Fatalf("key %s: candidate walk changed between calls: %v vs %v", key, first, again)
+				}
+			}
+		}
+	}
+}
+
+// TestRingBalance: with vnode spreading no member owns a grossly outsized
+// share of the key space (the regression this guards: raw FNV over
+// shared-prefix vnode names clumped points so badly that one member of
+// three owned ~70% — or even 9 of 9 consecutive keys).
+func TestRingBalance(t *testing.T) {
+	r := newRing(64)
+	members := []string{"http://127.0.0.1:38371", "http://127.0.0.1:42977", "http://127.0.0.1:40001"}
+	for _, m := range members {
+		r.add(m)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.candidates(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.0f%% of keys (%v), want a roughly even split", m, share*100, counts)
+		}
+	}
+}
+
+// TestRingRemovalOnlyMovesTheRemovedArc: evicting one member must not
+// reassign keys owned by the survivors — the property failover leans on.
+func TestRingRemovalOnlyMovesTheRemovedArc(t *testing.T) {
+	r := newRing(64)
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	for _, m := range members {
+		r.add(m)
+	}
+	const keys = 500
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.candidates(fmt.Sprintf("key-%d", i), 1)[0]
+	}
+	evicted := members[1]
+	r.remove(evicted)
+	moved := 0
+	for i := range before {
+		now := r.candidates(fmt.Sprintf("key-%d", i), 1)[0]
+		if now == evicted {
+			t.Fatalf("key-%d still routed to the evicted member", i)
+		}
+		if before[i] == evicted {
+			moved++
+			continue
+		}
+		if now != before[i] {
+			t.Fatalf("key-%d moved from %s to %s though its owner survived", i, before[i], now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the evicted member — vnode spread is broken")
+	}
+	// Rejoin restores the original assignment exactly.
+	r.add(evicted)
+	for i := range before {
+		if now := r.candidates(fmt.Sprintf("key-%d", i), 1)[0]; now != before[i] {
+			t.Fatalf("key-%d owned by %s after rejoin, want %s", i, now, before[i])
+		}
+	}
+	if r.size() != len(members) {
+		t.Fatalf("ring size = %d, want %d", r.size(), len(members))
+	}
+}

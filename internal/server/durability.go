@@ -71,11 +71,13 @@ func (s *Server) initDurability(requeue *[]*job) error {
 		return err
 	}
 	d.replay = rst
-	s.dur = d
 
 	// Fold the record stream into per-job end states, preserving admission
 	// order. Later records win (a re-submitted shed key clears the shed
-	// marker; a finished record supersedes everything).
+	// marker; a finished record supersedes everything). The server maps are
+	// mutated under the lock: with BackgroundReplay, status reads are
+	// already being served while this runs.
+	s.mu.Lock()
 	type jobReplay struct {
 		id       string
 		key      string
@@ -151,7 +153,7 @@ func (s *Server) initDurability(requeue *[]*job) error {
 			s.jobs[id] = j
 			d.restartTerminal.Add(1)
 		case jr.req != nil:
-			j := s.recoverJob(jr.id, jr.key, jr.req, jr.started, jr.resumes, now)
+			j := s.recoverJob(d, jr.id, jr.key, jr.req, jr.started, jr.resumes, now)
 			s.jobs[id] = j
 			if j.status.State.Terminal() {
 				// Request no longer admissible (policy changed across the
@@ -162,6 +164,7 @@ func (s *Server) initDurability(requeue *[]*job) error {
 			*requeue = append(*requeue, j)
 		}
 	}
+	s.mu.Unlock()
 
 	jour, err := durable.Open(durable.Options{
 		Dir:           d.jourDir,
@@ -172,6 +175,12 @@ func (s *Server) initDurability(requeue *[]*job) error {
 		return err
 	}
 	d.jour = jour
+	// Publish the durability layer only now that it is whole: concurrent
+	// Metrics reads during a background replay must see nil or a d whose
+	// journal is open, never a half-built one.
+	s.mu.Lock()
+	s.dur = d
+	s.mu.Unlock()
 	// Collapse replayed history into one segment holding just the live set,
 	// so journal size tracks live work, not daemon restarts.
 	return jour.CompactNow()
@@ -180,7 +189,7 @@ func (s *Server) initDurability(requeue *[]*job) error {
 // recoverJob rebuilds a runnable job from its journaled submission. A
 // started job tries to resume from its durable checkpoint; without one (or
 // past the restart-resume budget) it requeues from scratch.
-func (s *Server) recoverJob(id, key string, raw json.RawMessage, started bool, resumes int, now time.Time) *job {
+func (s *Server) recoverJob(d *durability, id, key string, raw json.RawMessage, started bool, resumes int, now time.Time) *job {
 	var req JobRequest
 	var j *job
 	err := json.Unmarshal(raw, &req)
@@ -199,7 +208,6 @@ func (s *Server) recoverJob(id, key string, raw json.RawMessage, started bool, r
 	j.rawReq = raw
 	j.status.ID = id
 	j.status.EnqueuedAt = now
-	d := s.dur
 	if started {
 		j.resumes = resumes + 1
 		if d.maxResumes < 0 || j.resumes <= d.maxResumes {

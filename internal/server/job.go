@@ -44,6 +44,10 @@ type JobRequest struct {
 	// instead of running the program again. Keys survive restarts on
 	// durable servers. A key whose submission was shed may be retried.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Tenant attributes the job to a tenant for fairness accounting. The
+	// worker records it verbatim (the router enforces per-tenant quotas);
+	// empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // JobConfig is the engine Config subset a job may set. Zero values defer to
@@ -122,8 +126,9 @@ func (s JobState) Terminal() bool {
 // JobStatus is the wire form of GET /jobs/{id}. For a running job the
 // counters are a live quiesced snapshot; for a terminal job they are final.
 type JobStatus struct {
-	ID    string   `json:"id"`
-	State JobState `json:"state"`
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Tenant string   `json:"tenant,omitempty"`
 	// SchemeRequested is what the tenant asked for; SchemeEffective is
 	// what the job ran under (the breaker demotes to portable HST while
 	// open, and rollback recovery may demote mid-run).
@@ -219,6 +224,9 @@ func (s *Server) decode(req JobRequest) (*job, error) {
 	if threads < 1 || threads > s.opts.MaxThreadsPerJob {
 		return nil, fmt.Errorf("threads %d out of range [1,%d]", threads, s.opts.MaxThreadsPerJob)
 	}
+	if len(req.Tenant) > 64 {
+		return nil, fmt.Errorf("tenant %q longer than 64 bytes", req.Tenant[:64]+"…")
+	}
 	if len(req.Fault) > 0 && !s.opts.AllowFaultInjection {
 		return nil, fmt.Errorf("fault injection is not enabled on this server")
 	}
@@ -287,6 +295,7 @@ func (s *Server) decode(req JobRequest) (*job, error) {
 		wallcap: wall,
 		status: JobStatus{
 			State:           StateQueued,
+			Tenant:          req.Tenant,
 			SchemeRequested: req.Scheme,
 			ExitCode:        -1,
 		},

@@ -86,11 +86,13 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(&b, "atomemu_journal_segments %d\n", m.JournalSegments)
 
 	gauge("atomemu_queue_length", "Jobs waiting in the admission queue.")
-	fmt.Fprintf(&b, "atomemu_queue_length %d\n", len(s.queue))
+	fmt.Fprintf(&b, "atomemu_queue_length %d\n", len(s.jobQueue()))
 	gauge("atomemu_queue_capacity", "Admission queue depth limit.")
 	fmt.Fprintf(&b, "atomemu_queue_capacity %d\n", s.opts.QueueDepth)
 	gauge("atomemu_draining", "1 while the server is draining, else 0.")
 	fmt.Fprintf(&b, "atomemu_draining %d\n", boolGauge(s.Draining()))
+	gauge("atomemu_recovering", "1 while journal replay is still running, else 0.")
+	fmt.Fprintf(&b, "atomemu_recovering %d\n", boolGauge(s.recovering.Load()))
 
 	gauge("atomemu_breaker_state", "Per-scheme breaker state: 0 closed, 1 open, 2 half-open.")
 	for _, bs := range s.Breakers() {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -87,10 +88,24 @@ type Options struct {
 	// MaxRestartResumes bounds how many times one job may resume from its
 	// on-disk checkpoint across daemon restarts before recovery falls back
 	// to requeueing it from scratch. Default 3; negative means unbounded.
+	// The same budget bounds resumes shipped in over POST /jobs/{id}/resume
+	// (router failover): past it, the snapshot is dropped and the job runs
+	// from scratch.
 	MaxRestartResumes int
+	// BackgroundReplay makes New return before the journal replay finishes:
+	// the HTTP surface comes up immediately, /readyz answers 503 (with
+	// Retry-After) until recovery completes, and submissions are refused
+	// with 503 in the window. Off, New blocks until recovery is done — the
+	// historical behavior, which tests and embedders rely on.
+	BackgroundReplay bool
 	// Logger receives server-side diagnostics (failed response encodes).
 	// Defaults to log.Default().
 	Logger *log.Logger
+
+	// testReplayHold, when set by a test, is received from after the journal
+	// has been read but before recovered jobs are requeued — pinning the
+	// server in its recovering state so the 503 window is observable.
+	testReplayHold chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -188,6 +203,21 @@ type Server struct {
 	workerWG sync.WaitGroup
 	jobWG    sync.WaitGroup // one per accepted job, done at terminal state
 
+	// recovering is true from New until journal replay has requeued every
+	// recovered job (always false without BackgroundReplay, where New blocks
+	// through recovery). recoveryDone closes when recovery ends, success or
+	// failure; recoverErr (under mu) holds a fatal replay error — the server
+	// then refuses admission forever and reports the error on /readyz.
+	recovering   atomic.Bool
+	recoveryDone chan struct{}
+	recoverErr   error
+
+	// finishRing holds the last finish times, the worker pool's measured
+	// drain rate; 429 sheds derive their Retry-After from it.
+	finishMu   sync.Mutex
+	finishRing []time.Time
+	finishNext int
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID uint64
@@ -217,55 +247,143 @@ type Server struct {
 }
 
 // New builds the server and starts its worker pool. With a DataDir it
-// first replays the journal — re-registering terminal jobs, requeueing
-// accepted ones and resuming started ones from their spilled checkpoints —
-// before admitting anything new. Journal damage (torn tails, corrupt
-// records) never fails startup; only real I/O errors do.
+// replays the journal — re-registering terminal jobs, requeueing accepted
+// ones and resuming started ones from their spilled checkpoints — before
+// admitting anything new. Journal damage (torn tails, corrupt records)
+// never fails startup; only real I/O errors do. With BackgroundReplay the
+// replay runs behind a 503 window instead of blocking New; a replay I/O
+// error then disables admission permanently (reported on /readyz) rather
+// than failing construction.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:      opts,
-		breakers:  newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
-		drainCh:   make(chan struct{}),
-		jobs:      make(map[string]*job),
-		idemp:     make(map[string]string),
-		shedByKey: make(map[string]string),
-		shedByID:  make(map[string]string),
-		wallHist:  make(map[string]*obs.Histogram),
-		virtHist:  make(map[string]*obs.Histogram),
+		opts:         opts,
+		breakers:     newBreakerSet(opts.BreakerThreshold, opts.BreakerCooldown),
+		drainCh:      make(chan struct{}),
+		recoveryDone: make(chan struct{}),
+		jobs:         make(map[string]*job),
+		idemp:        make(map[string]string),
+		shedByKey:    make(map[string]string),
+		shedByID:     make(map[string]string),
+		wallHist:     make(map[string]*obs.Histogram),
+		virtHist:     make(map[string]*obs.Histogram),
+		finishRing:   make([]time.Time, 32),
 	}
-	var recovered []*job
-	if opts.DataDir != "" {
+	if opts.DataDir == "" {
+		s.startPool(nil)
+		close(s.recoveryDone)
+		return s, nil
+	}
+	if !opts.BackgroundReplay {
+		var recovered []*job
 		if err := s.initDurability(&recovered); err != nil {
 			return nil, fmt.Errorf("server: durability init: %w", err)
 		}
+		s.startPool(recovered)
+		close(s.recoveryDone)
+		return s, nil
 	}
-	// Recovered jobs must all fit the queue, whatever its configured depth:
-	// shedding previously accepted work at restart would break the
-	// durability contract.
-	qcap := opts.QueueDepth
-	if len(recovered) > qcap {
-		qcap = len(recovered)
-	}
-	s.queue = make(chan *job, qcap)
-	for _, j := range recovered {
-		s.queue <- j
-		s.jobWG.Add(1)
-	}
-	for i := 0; i < opts.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
-	}
+	s.recovering.Store(true)
+	go func() {
+		defer close(s.recoveryDone)
+		var recovered []*job
+		err := s.initDurability(&recovered)
+		if hold := opts.testReplayHold; hold != nil {
+			<-hold
+		}
+		if err != nil {
+			// The journal is unreadable for real (I/O, not damage): admitting
+			// anything could double-run recovered work, so the server stays
+			// not-ready forever and says why.
+			s.mu.Lock()
+			s.recoverErr = err
+			s.mu.Unlock()
+			s.opts.Logger.Printf("server: durability init failed, admission disabled: %v", err)
+			return
+		}
+		s.startPool(recovered)
+		s.recovering.Store(false)
+	}()
 	return s, nil
 }
 
+// startPool creates the queue, requeues recovered jobs and starts the
+// workers. Recovered jobs must all fit the queue, whatever its configured
+// depth: shedding previously accepted work at restart would break the
+// durability contract.
+func (s *Server) startPool(recovered []*job) {
+	qcap := s.opts.QueueDepth
+	if len(recovered) > qcap {
+		qcap = len(recovered)
+	}
+	q := make(chan *job, qcap)
+	for _, j := range recovered {
+		q <- j
+		s.jobWG.Add(1)
+	}
+	s.mu.Lock()
+	s.queue = q
+	s.mu.Unlock()
+	for i := 0; i < s.opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+}
+
+// jobQueue reads the queue under the lock: with BackgroundReplay the queue
+// is created when recovery finishes, so observers (readyz, /metrics) that
+// run inside the window must not read the field bare. nil means the pool
+// is not up yet.
+func (s *Server) jobQueue() chan *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue
+}
+
+// WaitReady blocks until recovery has finished (immediately on servers
+// without BackgroundReplay) or ctx expires. A nil return does not mean the
+// server is admitting — recovery may have failed or a drain begun; it
+// means the startup transition is over and Metrics/readyz are final.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.recoveryDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// notReady reports why the server cannot admit jobs right now ("" = it
+// can, drain aside) plus a Retry-After hint in seconds (0 = none: the
+// condition is permanent).
+func (s *Server) notReady() (string, int) {
+	if s.recovering.Load() {
+		s.mu.Lock()
+		err := s.recoverErr
+		s.mu.Unlock()
+		if err != nil {
+			return "recovery failed: " + err.Error(), 0
+		}
+		return "recovering: journal replay in progress", 1
+	}
+	if s.draining.Load() {
+		return "draining", 0
+	}
+	return "", 0
+}
+
 // SubmitError is a submission failure with its HTTP status: 400 for bad
-// requests, 429 for shed load, 503 while draining. ID is set on a keyed
-// shed: the id under which GET /jobs/{id} will answer "shed".
+// requests, 429 for shed load, 503 while draining or recovering. ID is set
+// on a keyed shed: the id under which GET /jobs/{id} will answer "shed".
+// RetryAfter, when nonzero, is the Retry-After hint in seconds — for 429s
+// it is derived from the current queue depth and the worker pool's
+// measured drain rate, so clients back off proportionally to the actual
+// backlog instead of hammering a full queue.
 type SubmitError struct {
-	Status int
-	Msg    string
-	ID     string
+	Status     int
+	Msg        string
+	ID         string
+	RetryAfter int
 }
 
 func (e *SubmitError) Error() string { return e.Msg }
@@ -278,6 +396,16 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 	j, err := s.decode(req)
 	if err != nil {
 		return "", &SubmitError{Status: http.StatusBadRequest, Msg: err.Error()}
+	}
+	return s.admit(j, req)
+}
+
+// admit is the shared admission tail of Submit and SubmitResume: readiness
+// and drain gates, journal bookkeeping, idempotency, and the
+// enqueue-or-shed race.
+func (s *Server) admit(j *job, req JobRequest) (string, error) {
+	if reason, retry := s.notReady(); reason != "" {
+		return "", &SubmitError{Status: http.StatusServiceUnavailable, Msg: reason, RetryAfter: retry}
 	}
 	j.key = req.IdempotencyKey
 	if j.key != "" || s.dur != nil {
@@ -303,13 +431,15 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 	j.id = fmt.Sprintf("job-%d", s.nextID)
 	j.status.ID = j.id
 	j.status.EnqueuedAt = time.Now()
+	queue := s.queue
 	s.mu.Unlock()
 	select {
-	case s.queue <- j:
+	case queue <- j:
 	default:
 		s.shed.Add(1)
+		retry := s.retryAfterSecs()
 		if j.key == "" {
-			return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full"}
+			return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full", RetryAfter: retry}
 		}
 		// A keyed shed is remembered (and journaled), so a client retrying
 		// the key later gets a fresh attempt, and a GET on this id gets a
@@ -319,7 +449,7 @@ func (s *Server) Submit(req JobRequest) (string, error) {
 		s.shedByID[j.id] = j.key
 		s.mu.Unlock()
 		s.journalAppend(durable.Record{Type: durable.TypeShed, Job: j.id, Key: j.key})
-		return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full", ID: j.id}
+		return "", &SubmitError{Status: http.StatusTooManyRequests, Msg: "queue full", ID: j.id, RetryAfter: retry}
 	}
 	// Registered only after winning a queue slot, so an unkeyed shed job
 	// leaves no record behind.
@@ -378,7 +508,10 @@ func (s *Server) Metrics() Metrics {
 		BreakerTrips: s.breakers.tripCount(),
 		Panics:       s.panics.Load(),
 	}
-	if d := s.dur; d != nil {
+	s.mu.Lock()
+	d := s.dur
+	s.mu.Unlock()
+	if d != nil {
 		js := d.jour.Stats()
 		m.JournalAppends = js.Appends
 		m.JournalFsyncs = js.Fsyncs
@@ -415,6 +548,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.admitMu.Unlock()
 		close(s.drainCh)
 	})
+
+	// A background replay still in flight owns the journal and the worker
+	// pool's startup; the drain must not race it.
+	select {
+	case <-s.recoveryDone:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain aborted during recovery: %w", ctx.Err())
+	}
 
 	jobsDone := make(chan struct{})
 	go func() {
@@ -600,23 +741,89 @@ func (s *Server) finish(j *job, class engine.StopClass, err error, m *engine.Mac
 	j.cancel = nil
 	final := j.status
 	j.mu.Unlock()
+	s.noteFinish(final.FinishedAt)
 	// Journal the terminal state outside the job lock (an append can rotate
 	// into compaction, which re-reads every job's status).
 	s.journalFinish(j, final)
+}
+
+// noteFinish records one terminal transition in the drain-rate ring.
+func (s *Server) noteFinish(t time.Time) {
+	s.finishMu.Lock()
+	s.finishRing[s.finishNext%len(s.finishRing)] = t
+	s.finishNext++
+	s.finishMu.Unlock()
+}
+
+// drainRate is the worker pool's measured throughput in jobs per second:
+// the finishes remembered in the ring over the span from the oldest of
+// them to now. Using "now" (not the newest finish) as the right edge makes
+// the estimate decay while nothing finishes — a stalled pool reports an
+// ever-lower rate instead of its last good one. 0 means no evidence yet.
+func (s *Server) drainRate() float64 {
+	s.finishMu.Lock()
+	var oldest time.Time
+	n := 0
+	for _, t := range s.finishRing {
+		if t.IsZero() {
+			continue
+		}
+		n++
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	s.finishMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	span := time.Since(oldest)
+	if span < 50*time.Millisecond {
+		span = 50 * time.Millisecond
+	}
+	return float64(n) / span.Seconds()
+}
+
+// retryAfterSecs derives a 429 Retry-After hint: how long until the
+// backlog ahead of a retry likely drains, from the live queue depth and
+// the measured drain rate. Without rate evidence it assumes one second
+// per queued job per worker. Clamped to [1, 60].
+func (s *Server) retryAfterSecs() int {
+	qlen := len(s.jobQueue())
+	var secs float64
+	if rate := s.drainRate(); rate > 0 {
+		secs = (float64(qlen) + 1) / rate
+	} else {
+		secs = float64(qlen)/float64(s.opts.Workers) + 1
+	}
+	n := int(secs + 0.999)
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
 }
 
 // --- HTTP ---
 
 // Handler returns the service's HTTP API:
 //
-//	POST /jobs        submit a JobRequest    → 202 {id} | 400 | 429 | 503
-//	GET  /jobs        list job statuses
-//	GET  /jobs/{id}   one job's status      → 200 | 404
-//	GET  /healthz     liveness + metrics (200 while the process serves)
-//	GET  /readyz      admission readiness   → 200 | 503 draining
-//	GET  /statz       metrics + breaker states
-//	GET  /metrics     Prometheus text exposition
+//	POST /jobs                   submit a JobRequest → 202 {id} | 400 | 429 | 503
+//	GET  /jobs                   list job statuses
+//	GET  /jobs/{id}              one job's status → 200 | 404
+//	GET  /jobs/{id}/checkpoint   latest live checkpoint, ACKP binary → 200 | 404
+//	POST /jobs/{id}/resume       submit a job resuming from a shipped
+//	                             ACKP snapshot (router failover hand-off)
+//	GET  /healthz                liveness + metrics (200 while the process serves)
+//	GET  /readyz                 admission readiness → 200 | 503 draining,
+//	                             journal replay in progress, or recovery failed
+//	GET  /statz                  metrics + breaker states
+//	GET  /metrics                Prometheus text exposition
 //
+// 429 and retryable 503 responses carry a Retry-After header; the 429 one
+// is derived from the queue depth and the pool's measured drain rate.
 // Read-only endpoints return 405 for any method but GET.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -633,6 +840,9 @@ func (s *Server) Handler() http.Handler {
 				se, ok := err.(*SubmitError)
 				if !ok {
 					se = &SubmitError{Status: http.StatusInternalServerError, Msg: err.Error()}
+				}
+				if se.RetryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
 				}
 				if se.ID != "" {
 					// Keyed shed: hand back the id so the client can GET the
@@ -656,41 +866,70 @@ func (s *Server) Handler() http.Handler {
 			s.httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		}
 	})
-	mux.HandleFunc("/jobs/", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
-		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
-		st, ok := s.Status(id)
-		if !ok {
-			s.mu.Lock()
-			key, shed := s.shedByID[id]
-			s.mu.Unlock()
-			if shed {
-				// Distinct from "never seen": this id was allocated to a keyed
-				// submission and shed at admission. Re-submitting the key is a
-				// fresh attempt.
-				s.writeJSON(w, http.StatusNotFound, map[string]string{
-					"error":           "job " + id + " was shed at admission",
-					"reason":          "shed",
-					"idempotency_key": key,
-				})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/jobs/"), "/")
+		switch sub {
+		case "checkpoint":
+			s.getOnly(func(w http.ResponseWriter, r *http.Request) {
+				s.handleCheckpoint(w, id)
+			})(w, r)
+			return
+		case "resume":
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				s.httpError(w, http.StatusMethodNotAllowed, "use POST")
 				return
 			}
-			s.httpError(w, http.StatusNotFound, "no such job "+id)
+			s.handleResume(w, r, id)
 			return
+		default:
+			if sub != "" {
+				s.httpError(w, http.StatusNotFound, "no such endpoint /jobs/{id}/"+sub)
+				return
+			}
 		}
-		s.writeJSON(w, http.StatusOK, st)
-	}))
+		s.getOnly(func(w http.ResponseWriter, r *http.Request) {
+			st, ok := s.Status(id)
+			if !ok {
+				s.mu.Lock()
+				key, shed := s.shedByID[id]
+				s.mu.Unlock()
+				if shed {
+					// Distinct from "never seen": this id was allocated to a keyed
+					// submission and shed at admission. Re-submitting the key is a
+					// fresh attempt.
+					s.writeJSON(w, http.StatusNotFound, map[string]string{
+						"error":           "job " + id + " was shed at admission",
+						"reason":          "shed",
+						"idempotency_key": key,
+					})
+					return
+				}
+				s.httpError(w, http.StatusNotFound, "no such job "+id)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, st)
+		})(w, r)
+	})
 	mux.HandleFunc("/healthz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok", "draining": s.Draining(), "metrics": s.Metrics(),
+			"status": "ok", "draining": s.Draining(),
+			"recovering": s.recovering.Load(), "metrics": s.Metrics(),
 		})
 	}))
 	mux.HandleFunc("/readyz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			s.httpError(w, http.StatusServiceUnavailable, "draining")
+		// Not ready means "stop routing here": draining, journal replay
+		// still running, or recovery dead — a router or LB probing this
+		// endpoint must take the worker out of rotation in all three.
+		if reason, retry := s.notReady(); reason != "" {
+			if retry > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(retry))
+			}
+			s.httpError(w, http.StatusServiceUnavailable, reason)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ready", "queued": len(s.queue), "queue_depth": s.opts.QueueDepth,
+			"status": "ready", "queued": len(s.jobQueue()), "queue_depth": s.opts.QueueDepth,
 		})
 	}))
 	mux.HandleFunc("/statz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
