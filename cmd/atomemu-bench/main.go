@@ -30,6 +30,10 @@
 //	                           lost, 0 duplicated, ≥1 checkpoint-resumed and
 //	                           every output matches an uninterrupted reference
 //	                           (not part of "all")
+//	atomemu-bench warmstart    cross-job reuse latency: cold vs shared-store
+//	                           hit vs warm-pool fork for one image; -out DIR
+//	                           writes BENCH_warmstart.json; exits nonzero if
+//	                           the shared store never hits or no fork happens
 //	atomemu-bench all          everything above except crashsoak and fabricsoak
 //
 // Text renders to stdout; with -out DIR each experiment also writes a CSV.
@@ -85,13 +89,15 @@ func run(args []string) error {
 	crashJobs := fs.Int("crash-jobs", 6, "keyed jobs for the crashsoak run")
 	fabricFleet := fs.Int("fabric-workers", 3, "worker daemons for the fabricsoak run")
 	fabricJobs := fs.Int("fabric-jobs", 8, "keyed jobs for the fabricsoak run")
+	warmStmts := fs.Int("warm-stmts", 3000, "straight-line statements for the warmstart image")
+	warmRepeats := fs.Int("warm-repeats", 3, "repeat submissions per warmstart mode (best-of)")
 	advRuns := fs.Int("runs", 40, "scenario budget for the adversary search")
 	advMaxSteps := fs.Uint64("max-steps", 0, "per-scenario step budget for the adversary search (0 = default)")
 	advTargets := fs.String("targets", "", "comma-separated workload targets for the adversary search (default: all)")
 	advFree := fs.Bool("free", false, "let the adversary search explore free-running mode too")
 	require := fs.String("require", "", "fail the adversary search unless a property held (strict-livelock)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|crashsoak|fabricsoak|all}")
+		fmt.Fprintln(os.Stderr, "usage: atomemu-bench [flags] {fig10|fig11|fig12|table1|table2|correctness|litmus|contention|resilience|trace|soak|adversary|crashsoak|fabricsoak|warmstart|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -262,6 +268,14 @@ func run(args []string) error {
 				Quiet:   *quiet,
 			})
 		},
+		"warmstart": func() error {
+			return runWarmstart(warmstartConfig{
+				Stmts:   *warmStmts,
+				Repeats: *warmRepeats,
+				OutDir:  *outDir,
+				Quiet:   *quiet,
+			})
+		},
 		"adversary": func() error {
 			return runAdversary(advConfig{
 				Seed:        *seed,
@@ -277,7 +291,7 @@ func run(args []string) error {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "resilience", "trace", "soak", "adversary"} {
+		for _, name := range []string{"litmus", "correctness", "table1", "fig10", "fig11", "fig12", "table2", "contention", "warmstart", "resilience", "trace", "soak", "adversary"} {
 			fmt.Printf("\n===== %s =====\n", name)
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

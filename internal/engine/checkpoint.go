@@ -257,9 +257,12 @@ func (m *Machine) restore(snap *checkpoint.Snapshot, demote bool) error {
 }
 
 // demoteScheme swaps the active scheme for portable HST with fresh state.
-// When the translation options change it resets the shared TB cache —
-// blocks translated without store instrumentation are wrong for HST — and
-// restore unconditionally drops the per-vCPU local caches (stale blocks
+// When the translation options change it drops the machine-cache blocks
+// whose translation actually depended on the changed options — a block
+// with no plain stores translates identically either way, so it survives
+// (tbCache.retain; resetting everything re-paid translation for every
+// pure-compute block). The cross-job view re-keys to the demoted universe.
+// Restore unconditionally drops the per-vCPU local caches (stale blocks
 // and chain links) either way.
 func (m *Machine) demoteScheme() error {
 	tab, err := core.NewHashTable(m.cfg.HashBits)
@@ -280,7 +283,20 @@ func (m *Machine) demoteScheme() error {
 	m.topts.InstrumentStores = sch.InstrumentsStores()
 	m.topts.InstrumentLoads = sch.InstrumentsLoads()
 	if m.topts != old {
-		m.tbs.reset()
+		m.tbs.retain(func(tb *TB) *TB {
+			if !tb.compatibleAfter(old.InstrumentStores, m.topts.InstrumentStores,
+				old.InstrumentLoads, m.topts.InstrumentLoads) {
+				return nil
+			}
+			// A dec-only TB is still promotable: re-wrap it so a future
+			// promotion CASes post-demotion IR onto a fresh object, never
+			// onto one resident in the pre-demotion shared-store segment.
+			if tb.ir.Load() == nil && tb.dec != nil {
+				return newDecTB(tb.dec)
+			}
+			return tb
+		})
+		m.rekeySharedTB()
 	}
 	return nil
 }

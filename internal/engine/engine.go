@@ -10,10 +10,13 @@
 // decisions, and the interpreter routes LL/SC and instrumented loads/stores
 // through it.
 //
-// Limitation: translation blocks are never invalidated, so self-modifying
-// guest code is unsupported (all guest programs here are static images) —
-// the same simplification QEMU's user mode makes unless mmap tracking
-// forces a flush.
+// Limitation: a machine's own translation blocks are never invalidated, so
+// self-modifying guest code is unsupported within one machine (all guest
+// programs here are static images) — the same simplification QEMU's user
+// mode makes unless mmap tracking forces a flush. The cross-job shared
+// store (Config.SharedTBStore) is stricter: an MMU store watch over the
+// image span gates every shared adoption and publication, so a mutated
+// page's blocks are never shared across machines (sharedtb.go).
 package engine
 
 import (
@@ -32,6 +35,7 @@ import (
 	"atomemu/internal/mmu"
 	"atomemu/internal/obs"
 	"atomemu/internal/stats"
+	"atomemu/internal/tbstore"
 	"atomemu/internal/translate"
 )
 
@@ -180,6 +184,29 @@ type Config struct {
 	// external step-mode scheduler (internal/adversary) can drive the
 	// machine without timeouts or polling. See the SchedHook type.
 	SchedHook SchedHook
+
+	// SharedTBStore attaches the machine to the process-wide
+	// content-addressed translation store (internal/tbstore): translation
+	// blocks are adopted from and published to a view keyed by image
+	// content + translation options, so repeat jobs for the same image
+	// skip decode+translate+optimize. The keyed view is derived at
+	// LoadImage from the image itself; machines built over a snapshot
+	// (ResumeFromSnapshot never calls LoadImage) must pin the key and the
+	// guarded span with the three fields below.
+	SharedTBStore *tbstore.Store[*TB]
+	// SharedTBImage is the image content hash (engine.ImageKey) when the
+	// caller already knows it; zero means derive at LoadImage.
+	SharedTBImage [32]byte
+	// SharedTBBase/SharedTBSize give the image span the MMU store watch
+	// guards. A non-zero size makes NewMachine attach immediately (the
+	// resume path); otherwise LoadImage attaches.
+	SharedTBBase uint32
+	SharedTBSize uint32
+	// SharedTBSeedStores pre-marks image pages the snapshot's producer had
+	// already stored to (engine.(*Machine).ImageStoreCounts), keeping the
+	// span checks sound when memory comes from a warm-fork template rather
+	// than a pristine image.
+	SharedTBSeedStores []uint64
 }
 
 // SchedHook receives vCPU park/wake notifications for an external
@@ -237,6 +264,14 @@ type Machine struct {
 	// tbs is the shared translation-block cache: lock-free sharded
 	// copy-on-write lookups, see tbcache.go.
 	tbs tbCache
+
+	// Cross-job shared-translation state (sharedtb.go): the keyed view of
+	// cfg.SharedTBStore, the image hash it derives from, and the MMU store
+	// watch over the image span that gates adoption and publication.
+	// All three are set before vCPUs launch (or while quiesced, on rekey).
+	sharedView  *tbstore.View[*TB]
+	sharedImage [32]byte
+	sharedWatch *mmu.StoreWatch
 
 	// Effective IR-bypass knobs (tier.go), derived from cfg at
 	// construction: StepMode and TraceWriter force both off.
@@ -323,12 +358,31 @@ type Machine struct {
 type TB struct {
 	ir  atomic.Pointer[ir.Block]
 	dec *translate.Decoded
+
+	// lo/hi bound the guest addresses the block was translated from (hi
+	// exclusive; widened at promotion, before the superblock IR publishes)
+	// and sens carries the instrumentation-sensitivity bits — both serve
+	// the shared store's span checks and demotion retention (sharedtb.go).
+	lo, hi atomic.Uint32
+	sens   atomic.Uint32
 }
 
 // newIRTB wraps an already-translated IR block as a TB.
 func newIRTB(block *ir.Block) *TB {
 	tb := &TB{}
+	tb.lo.Store(block.GuestLo)
+	tb.hi.Store(block.GuestHi)
+	tb.sens.Store(sensOf(block.HasStores, block.HasLoads))
 	tb.ir.Store(block)
+	return tb
+}
+
+// newDecTB wraps a decoded (interp-tier) block as a TB.
+func newDecTB(dec *translate.Decoded) *TB {
+	tb := &TB{dec: dec}
+	tb.lo.Store(dec.Start)
+	tb.hi.Store(dec.End())
+	tb.sens.Store(sensOf(dec.HasStores, dec.HasLoads))
 	return tb
 }
 
@@ -487,6 +541,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 			return nil, f
 		}
 	}
+
+	// A caller that pins the image key attaches here — the resume path,
+	// where LoadImage never runs (memory arrives via snapshot restore,
+	// which writes frames directly and so never trips the store watch).
+	if cfg.SharedTBStore != nil && cfg.SharedTBSize != 0 {
+		m.attachSharedTB(cfg.SharedTBImage, cfg.SharedTBBase, cfg.SharedTBSize, cfg.SharedTBSeedStores)
+	}
 	return m, nil
 }
 
@@ -511,6 +572,16 @@ func (m *Machine) LoadImage(im *asm.Image) error {
 		if f := m.mem.WriteWordPriv(im.Org+uint32(i)*4, w); f != nil {
 			return f
 		}
+	}
+	// Attach the shared-translation view now that the image bytes are in
+	// place (the watch must not count host-side seeding as mutation).
+	if m.cfg.SharedTBStore != nil && m.sharedView == nil {
+		key := m.cfg.SharedTBImage
+		if key == ([32]byte{}) {
+			key = ImageKey(im)
+		}
+		spanBase, spanSize := ImageSpan(im)
+		m.attachSharedTB(key, spanBase, spanSize, m.cfg.SharedTBSeedStores)
 	}
 	return nil
 }
@@ -817,26 +888,58 @@ func (m *Machine) localFor(c *CPU, pc uint32) (*localTB, error) {
 	}
 	c.st.TBSharedLookups++
 	tb := m.tbs.get(pc)
+	if tb == nil && m.sharedView != nil && m.sharedWatch.Contains(pc, pc+4) {
+		// Cross-job adoption: take the store's canonical block if the pages
+		// it was translated from are still pristine in THIS machine's
+		// memory (a warm fork seeds pre-cut mutations into the watch, so
+		// the check stays sound over snapshot-born memory too).
+		if stb, ok := m.sharedView.Get(pc); ok {
+			if lo, hi := stb.tbSpan(); m.sharedSpanClean(lo, hi) {
+				c.st.TBStoreHits++
+				tb, _ = m.tbs.insert(pc, stb)
+			} else {
+				c.st.TBStoreInvalidations++
+			}
+		} else {
+			c.st.TBStoreMisses++
+		}
+	}
 	if tb == nil {
 		c.abortOpenTxn(pc)
 		// The vCPU does the translation work whether or not its block wins
 		// the publish race, so it pays the translate cost either way.
-		var won bool
+		var newTB *TB
 		if m.tiered {
 			dec, err := translate.Decode(m.fetcher(), pc, m.topts)
 			if err != nil {
 				return nil, err
 			}
-			tb, won = m.tbs.insert(pc, &TB{dec: dec})
+			newTB = newDecTB(dec)
 			c.charge(stats.CompTBTranslate, m.cfg.Cost.TBDecode*uint64(dec.GuestLen))
 		} else {
 			block, err := translate.Block(m.fetcher(), pc, m.topts)
 			if err != nil {
 				return nil, err
 			}
-			tb, won = m.tbs.insert(pc, newIRTB(block))
+			newTB = newIRTB(block)
 			c.charge(stats.CompTBTranslate, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
 		}
+		// Offer the block to the cross-job store first — adopt-the-winner
+		// there too, so racing machines converge on one canonical TB — then
+		// publish into the machine cache. The span must be pristine AFTER
+		// translation: the watch bumps before a mutating word is written,
+		// so a translation that read mutated bytes cannot pass this check.
+		if m.sharedView != nil {
+			if lo, hi := newTB.tbSpan(); m.sharedSpanClean(lo, hi) {
+				var pubWon bool
+				newTB, pubWon = m.sharedView.Publish(pc, newTB)
+				if pubWon {
+					c.st.TBStorePublishes++
+				}
+			}
+		}
+		var won bool
+		tb, won = m.tbs.insert(pc, newTB)
 		c.st.TBTranslations++
 		if !won {
 			c.st.TBRaceDiscards++

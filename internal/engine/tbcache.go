@@ -97,6 +97,33 @@ func (c *tbCache) reset() {
 	}
 }
 
+// retain rebuilds every shard through the mapping function — scheme
+// demotion's surgical alternative to reset: translations that are
+// invariant under the instrumentation change survive (possibly re-wrapped
+// in a fresh *TB), so vCPUs do not re-pay decode+translate+optimize for
+// pure-compute blocks. A nil return drops the block. Callers must still
+// clear per-vCPU local caches.
+func (c *tbCache) retain(keep func(*TB) *TB) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if old := s.snap.Load(); old != nil {
+			next := make(tbMap, len(*old))
+			for pc, tb := range *old {
+				if kept := keep(tb); kept != nil {
+					next[pc] = kept
+				}
+			}
+			if len(next) == 0 {
+				s.snap.Store(nil)
+			} else {
+				s.snap.Store(&next)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // len counts cached blocks across all shards (tests and stats reporting).
 func (c *tbCache) len() int {
 	n := 0

@@ -107,6 +107,20 @@ func (m *Machine) promote(c *CPU, lt *localTB) error {
 	c.st.TBTranslations++
 	c.st.TierPromotions++
 	c.charge(stats.CompTBTranslate, m.cfg.Cost.TBTranslate*uint64(block.GuestLen))
+	if m.sharedView != nil && !m.sharedSpanClean(block.GuestLo, block.GuestHi) {
+		// The TB may be resident in (or adopted from) the cross-job store,
+		// and this superblock read guest pages that have been stored to:
+		// publishing it on the shared TB object would leak a mutated-code
+		// translation to pristine machines. Keep the IR vCPU-private.
+		lt.block = block
+		lt.taken, lt.fall = nil, nil
+		c.ring.Emit(obs.EvTierPromote, lt.start, uint64(lt.execs))
+		return nil
+	}
+	// Widen the TB's guest cover and sensitivity before the IR publishes,
+	// so any reader that adopts the superblock also sees metadata covering
+	// it (shared-store span checks, demotion retention).
+	lt.tb.noteBlock(block)
 	if !lt.tb.ir.CompareAndSwap(nil, block) {
 		c.st.TBRaceDiscards++
 	}

@@ -324,6 +324,18 @@ type Block struct {
 	// NumSlots is the register-space size (guest regs + temps).
 	NumSlots int
 	Ops      []Inst
+	// HasStores/HasLoads record whether the block contains plain guest
+	// stores/loads (or fused atomics) — the instructions whose lowering
+	// depends on Options.InstrumentStores/InstrumentLoads. Scheme demotion
+	// uses them to retain translations that are invariant under an
+	// instrumentation change (engine/tbcache.retain).
+	HasStores bool
+	HasLoads  bool
+	// GuestLo/GuestHi bound the guest addresses this block was translated
+	// from (hi exclusive). Superblocks are non-contiguous, so the bounds
+	// are a conservative cover; the shared translation store checks them
+	// against the MMU store watch before reusing a block cross-job.
+	GuestLo, GuestHi uint32
 }
 
 // NewBlock creates an empty block starting at the given guest address.

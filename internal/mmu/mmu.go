@@ -135,6 +135,104 @@ type Memory struct {
 	nextFrame int
 	freeList  []int32 // recycled frame indices
 	inj       *faultinject.Injector
+	// watch, when set, counts stores landing in one address range — the
+	// engine's shared-translation guard over the guest image span. One
+	// atomic pointer load per store resolution when unwatched.
+	watch atomic.Pointer[StoreWatch]
+}
+
+// StoreWatch counts stores into [lo, hi) at page granularity. Counters are
+// bumped with sequentially-consistent ordering BEFORE the watched word is
+// written, so any reader that observes a mutated word is guaranteed to
+// observe a non-zero count on its next RangeCount call — the property the
+// engine's publication-time pristine check relies on (DESIGN.md §13).
+// Per-page counts matter because guest images interleave code and data:
+// a store to a data cell only taints its own page, not every translation
+// from the image.
+type StoreWatch struct {
+	lo, hi uint32 // watched range, page-aligned
+	total  atomic.Uint64
+	pages  []atomic.Uint64 // one counter per watched page
+}
+
+// Count returns how many watched stores have been observed in total.
+func (w *StoreWatch) Count() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.total.Load()
+}
+
+// Contains reports whether the non-empty range [lo, hi) lies inside the
+// watched span.
+func (w *StoreWatch) Contains(lo, hi uint32) bool {
+	return w != nil && lo < hi && lo >= w.lo && hi <= w.hi
+}
+
+// RangeCount sums watched-store counts over the pages overlapping [lo, hi).
+// Addresses outside the watched span contribute 0 — callers that need
+// "unwatched means unknown" must gate on Contains first.
+func (w *StoreWatch) RangeCount(lo, hi uint32) uint64 {
+	if w == nil || hi <= w.lo || lo >= w.hi || lo >= hi {
+		return 0
+	}
+	if lo < w.lo {
+		lo = w.lo
+	}
+	if hi > w.hi {
+		hi = w.hi
+	}
+	var n uint64
+	for i := (lo - w.lo) >> PageShift; i <= (hi-1-w.lo)>>PageShift; i++ {
+		n += w.pages[i].Load()
+	}
+	return n
+}
+
+// StoreCounts returns a copy of the per-page counts (nil receiver → nil).
+func (w *StoreWatch) StoreCounts() []uint64 {
+	if w == nil {
+		return nil
+	}
+	out := make([]uint64, len(w.pages))
+	for i := range w.pages {
+		out[i] = w.pages[i].Load()
+	}
+	return out
+}
+
+// SeedStores pre-marks pages as already stored to, by per-page count
+// (aligned from the watch base; extra entries are ignored). Used when the
+// watched memory comes from a snapshot whose producer had already mutated
+// parts of the span: the seeded pages stay "dirty" in the new watch.
+func (w *StoreWatch) SeedStores(counts []uint64) {
+	if w == nil {
+		return
+	}
+	var total uint64
+	for i, n := range counts {
+		if i >= len(w.pages) {
+			break
+		}
+		w.pages[i].Add(n)
+		total += n
+	}
+	w.total.Add(total)
+}
+
+// WatchStores installs a store watch over [lo, hi) (rounded out to page
+// boundaries) and returns it, replacing any previous watch. Install after
+// any host-side seeding of the range (WriteWordPriv resolves as a store and
+// would count).
+func (m *Memory) WatchStores(lo, hi uint32) *StoreWatch {
+	lo &^= uint32(PageMask)
+	hi = (hi + PageSize - 1) &^ uint32(PageMask)
+	if hi <= lo {
+		hi = lo + PageSize
+	}
+	w := &StoreWatch{lo: lo, hi: hi, pages: make([]atomic.Uint64, (hi-lo)>>PageShift)}
+	m.watch.Store(w)
+	return w
 }
 
 // SetInjector installs a fault injector (nil to disable). Call before the
@@ -365,12 +463,18 @@ func (m *Memory) resolve(addr uint32, need Perm, access AccessKind) (*[PageWords
 	if ptePerm(p)&need != need {
 		return nil, 0, &Fault{Addr: addr, Kind: FaultProtected, Access: access}
 	}
-	if access == AccessStore && p&pteDirty == 0 {
-		// Lock-free dirty marking: the Or races only with identical Ors
-		// and with structural changes, which rewrite the pte wholesale
-		// (and themselves set dirty), so no update is lost.
-		if l := m.dir[addr>>22].Load(); l != nil {
-			l.ptes[addr>>PageShift&0x3ff].Or(pteDirty)
+	if access == AccessStore {
+		if w := m.watch.Load(); w != nil && addr >= w.lo && addr < w.hi {
+			w.total.Add(1)
+			w.pages[(addr-w.lo)>>PageShift].Add(1)
+		}
+		if p&pteDirty == 0 {
+			// Lock-free dirty marking: the Or races only with identical Ors
+			// and with structural changes, which rewrite the pte wholesale
+			// (and themselves set dirty), so no update is lost.
+			if l := m.dir[addr>>22].Load(); l != nil {
+				l.ptes[addr>>PageShift&0x3ff].Or(pteDirty)
+			}
 		}
 	}
 	return m.frames[pteFrame(p)], addr & PageMask / 4, nil

@@ -24,6 +24,7 @@ type WorkerView struct {
 	Accepted    uint64    `json:"accepted"`
 	Completed   uint64    `json:"completed"`
 	Shed        uint64    `json:"shed"`
+	Warmth      int       `json:"warmth"`
 	Dispatched  uint64    `json:"dispatched"`
 	Downs       uint64    `json:"downs"`
 	Rejoins     uint64    `json:"rejoins"`
@@ -40,6 +41,7 @@ func (r *Router) Workers() []WorkerView {
 			ConsecFails: w.consecFails, LastError: w.lastErr, LastProbe: w.lastProbe,
 			Queued: w.queued, QueueDepth: w.queueDepth,
 			Accepted: w.accepted, Completed: w.completed, Shed: w.shed,
+			Warmth: w.warmth,
 			Dispatched: w.dispatched, Downs: w.downs, Rejoins: w.rejoins,
 		})
 	}

@@ -66,6 +66,10 @@ type worker struct {
 	accepted   uint64
 	completed  uint64
 	shed       uint64
+	// warmth scores the worker's reusable warm-start state (shared TB
+	// blocks plus, much more heavily, warm-pool templates) from the /statz
+	// warmth hint; dispatch uses it to order spill candidates.
+	warmth int
 
 	// Lifetime transition counters for /metrics.
 	downs   uint64
@@ -110,12 +114,13 @@ func (r *Router) probe(url string) {
 		r.noteWorkerFailure(url, err.Error())
 		return
 	}
-	acc, comp, shed := r.probeStatz(url)
+	sz := r.probeStatz(url)
 	r.mu.Lock()
 	w := r.workers[url]
 	if w != nil {
 		w.queued, w.queueDepth = q, depth
-		w.accepted, w.completed, w.shed = acc, comp, shed
+		w.accepted, w.completed, w.shed = sz.accepted, sz.completed, sz.shed
+		w.warmth = sz.warmth
 	}
 	r.mu.Unlock()
 	r.noteWorkerSuccess(url)
@@ -146,16 +151,24 @@ func (r *Router) probeReadyz(url string) (queued, depth int, err error) {
 	return rb.Queued, rb.QueueDepth, nil
 }
 
-// probeStatz samples the worker's job counters for per-worker load gauges.
-// Best-effort: health never depends on it.
-func (r *Router) probeStatz(url string) (accepted, completed, shed uint64) {
+// statzSample is what one /statz probe yields for the worker gauges.
+type statzSample struct {
+	accepted  uint64
+	completed uint64
+	shed      uint64
+	warmth    int
+}
+
+// probeStatz samples the worker's job counters and warmth hint for
+// per-worker load gauges. Best-effort: health never depends on it.
+func (r *Router) probeStatz(url string) statzSample {
 	resp, err := r.probeClient.Get(url + "/statz")
 	if err != nil {
-		return 0, 0, 0
+		return statzSample{}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, 0
+		return statzSample{}
 	}
 	var sb struct {
 		Metrics struct {
@@ -163,9 +176,21 @@ func (r *Router) probeStatz(url string) (accepted, completed, shed uint64) {
 			Completed uint64 `json:"completed"`
 			Shed      uint64 `json:"shed"`
 		} `json:"metrics"`
+		Warmth struct {
+			TBStoreBlocks int `json:"tbstore_blocks"`
+			WarmTemplates int `json:"warm_templates"`
+		} `json:"warmth"`
 	}
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sb)
-	return sb.Metrics.Accepted, sb.Metrics.Completed, sb.Metrics.Shed
+	// A template skips a whole prologue; a cached block skips one
+	// translation. Weight accordingly so one warm template beats any
+	// realistic block count from an unrelated image.
+	return statzSample{
+		accepted:  sb.Metrics.Accepted,
+		completed: sb.Metrics.Completed,
+		shed:      sb.Metrics.Shed,
+		warmth:    sb.Warmth.TBStoreBlocks + 512*sb.Warmth.WarmTemplates,
+	}
 }
 
 // noteWorkerSuccess records a successful interaction: reset the failure

@@ -148,10 +148,7 @@ func (r *Router) replayFold(recs []durable.Record) {
 			id: id, tenant: tname, key: a.key, req: req, raw: a.raw,
 			resumes: a.resumes,
 		}
-		j.hashKey = a.key
-		if j.hashKey == "" {
-			j.hashKey = id
-		}
+		j.hashKey = ringKey(req, a.key, id)
 		j.enqueuedAt = time.UnixMilli(a.unixMS)
 		if a.unixMS == 0 {
 			j.enqueuedAt = time.Now()

@@ -58,6 +58,10 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 	for _, wv := range workers {
 		fmt.Fprintf(&b, "atomemu_router_worker_queued{worker=%q} %d\n", wv.URL, wv.Queued)
 	}
+	gauge("atomemu_router_worker_warmth", "Worker warm-start score (shared TB blocks + weighted warm templates) at the last successful probe.")
+	for _, wv := range workers {
+		fmt.Fprintf(&b, "atomemu_router_worker_warmth{worker=%q} %d\n", wv.URL, wv.Warmth)
+	}
 	fmt.Fprintf(&b, "# HELP atomemu_router_worker_dispatched_total Jobs this router dispatched to the worker.\n# TYPE atomemu_router_worker_dispatched_total counter\n")
 	for _, wv := range workers {
 		fmt.Fprintf(&b, "atomemu_router_worker_dispatched_total{worker=%q} %d\n", wv.URL, wv.Dispatched)

@@ -40,10 +40,13 @@ package router
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -196,7 +199,7 @@ type job struct {
 	id      string
 	tenant  string
 	key     string // client idempotency key ("" if none)
-	hashKey string // ring key: client key, else router id
+	hashKey string // ring key: image content hash, else client key, else router id
 	req     server.JobRequest
 	raw     []byte // marshaled req (worker-side key injected)
 
@@ -448,10 +451,7 @@ func (r *Router) Submit(req server.JobRequest) (string, error) {
 	}
 	j.req = wreq
 	j.raw = raw
-	j.hashKey = j.key
-	if j.hashKey == "" {
-		j.hashKey = id
-	}
+	j.hashKey = ringKey(req, j.key, id)
 	now := time.Now()
 	j.enqueuedAt, j.lastEnqueue = now, now
 	r.jobs[id] = j
@@ -468,6 +468,28 @@ func (r *Router) Submit(req server.JobRequest) (string, error) {
 		Request: json.RawMessage(raw), UnixMS: now.UnixMilli(),
 	})
 	return id, nil
+}
+
+// ringKey derives a job's consistent-hash placement key. Image content
+// wins: repeat submissions of the same guest program land on the worker
+// that already holds its translations in the shared TB store and its fork
+// template in the warm pool, so placement affinity is what turns those
+// caches into fleet-level wins. Same program, same arc — whoever submits
+// it. Jobs without program content (not possible via the HTTP surface)
+// fall back to the client key, then the router id.
+func ringKey(req server.JobRequest, key, id string) string {
+	switch {
+	case req.GAC != "":
+		sum := sha256.Sum256([]byte("gac\x00" + req.GAC))
+		return "img:" + hex.EncodeToString(sum[:])
+	case req.ImageB64 != "":
+		sum := sha256.Sum256([]byte("img\x00" + req.ImageB64))
+		return "img:" + hex.EncodeToString(sum[:])
+	case key != "":
+		return key
+	default:
+		return id
+	}
 }
 
 // tenantRetryAfterLocked derives a quota-shed Retry-After from the
@@ -574,6 +596,25 @@ func (r *Router) dispatch(j *job) {
 			return
 		}
 		cands := r.ring.candidates(j.hashKey, r.opts.DispatchAttempts)
+		if len(cands) > 2 {
+			// The arc owner stays first — placement stability is what builds
+			// worker warmth in the first place. But a bounce's spill order is
+			// free choice: prefer spilling to the warmest surviving candidate
+			// (most reusable translations/templates, per its /statz warmth
+			// hint). Stable sort, so equally-cold candidates keep ring order.
+			rest := cands[1:]
+			sort.SliceStable(rest, func(a, b int) bool {
+				wa, wb := r.workers[rest[a]], r.workers[rest[b]]
+				var sa, sb int
+				if wa != nil {
+					sa = wa.warmth
+				}
+				if wb != nil {
+					sb = wb.warmth
+				}
+				return sa > sb
+			})
+		}
 		r.mu.Unlock()
 
 		for i, url := range cands {

@@ -35,9 +35,10 @@ type durability struct {
 	replay     durable.ReplayStats
 	closeOnce  sync.Once
 
-	spills      atomic.Uint64
-	spillBytes  atomic.Uint64
-	spillErrors atomic.Uint64
+	spills         atomic.Uint64
+	spillBytes     atomic.Uint64
+	spillErrors    atomic.Uint64
+	ckptTempsSwept atomic.Uint64
 
 	journalErrors    atomic.Uint64
 	ckptDecodeErrors atomic.Uint64
@@ -66,6 +67,7 @@ func (s *Server) initDurability(requeue *[]*job) error {
 	if err := os.MkdirAll(d.ckptDir, 0o755); err != nil {
 		return err
 	}
+	d.sweepTempSpills(s)
 	recs, rst, err := durable.Replay(d.jourDir)
 	if err != nil {
 		return err
@@ -240,6 +242,30 @@ func (d *durability) loadSnapshot(s *Server, id string) (*checkpoint.Snapshot, b
 		return nil, false
 	}
 	return snap, true
+}
+
+// sweepTempSpills deletes stale spill temp files left under the checkpoint
+// directory by a crash between a temp's write and its rename (writeSnapshot
+// is temp+fsync+rename, so a SIGKILL in that window orphans the temp
+// forever — no later spill or terminal cleanup ever touches its random
+// suffix). Runs once at startup, before replay resumes any job: every temp
+// present now is garbage by construction, since a live spill can only be
+// in flight while its job's machine runs, and nothing runs yet.
+func (d *durability) sweepTempSpills(s *Server) {
+	ents, err := os.ReadDir(d.ckptDir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.ckptDir, e.Name())); err != nil {
+			s.opts.Logger.Printf("server: sweeping stale spill temp %s: %v", e.Name(), err)
+			continue
+		}
+		d.ckptTempsSwept.Add(1)
+	}
 }
 
 // removeSnapshot deletes a terminal job's spill; it can never be resumed.

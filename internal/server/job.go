@@ -135,6 +135,9 @@ type JobStatus struct {
 	SchemeRequested string `json:"scheme_requested"`
 	SchemeEffective string `json:"scheme_effective,omitempty"`
 	Demoted         bool   `json:"demoted,omitempty"`
+	// WarmForked marks a job started from a warm-pool template (a prior
+	// run's first checkpoint) instead of a cold image load.
+	WarmForked bool `json:"warm_forked,omitempty"`
 	// Class/ExitCode mirror cmd/atomemu's exit classification
 	// (engine.ClassifyStop); Error is the stop error, if any.
 	Class    string `json:"class,omitempty"`
@@ -171,6 +174,13 @@ type job struct {
 	threads int
 	arg     uint32
 	wallcap time.Duration
+
+	// Warm-start identity, derived at decode: the content hash and guest
+	// span of the job's image, shared by the cross-job translation store
+	// and the warm-template key.
+	imageHash [32]byte
+	imageBase uint32
+	imageSize uint32
 
 	// Durability fields. key is the idempotency key (may be set without a
 	// DataDir); rawReq is the original wire JSON, journaled so a restart
@@ -287,12 +297,16 @@ func (s *Server) decode(req JobRequest) (*job, error) {
 	if wall > s.opts.MaxWallDeadline {
 		wall = s.opts.MaxWallDeadline
 	}
+	base, size := engine.ImageSpan(im)
 	return &job{
-		im:      im,
-		cfg:     cfg,
-		threads: threads,
-		arg:     req.Arg,
-		wallcap: wall,
+		im:        im,
+		cfg:       cfg,
+		threads:   threads,
+		arg:       req.Arg,
+		wallcap:   wall,
+		imageHash: engine.ImageKey(im),
+		imageBase: base,
+		imageSize: size,
 		status: JobStatus{
 			State:           StateQueued,
 			Tenant:          req.Tenant,

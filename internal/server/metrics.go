@@ -79,11 +79,31 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	counter("atomemu_ckpt_spill_total", "Checkpoint snapshots spilled to disk.", m.CkptSpills)
 	counter("atomemu_ckpt_spill_bytes_total", "Bytes of encoded checkpoint snapshots spilled to disk.", m.CkptSpillBytes)
 	counter("atomemu_ckpt_spill_errors_total", "Failed checkpoint spills.", m.CkptSpillErrors)
+	counter("atomemu_ckpt_temps_swept_total", "Stale spill temp files removed at the last startup.", m.CkptTempsSwept)
 	counter("atomemu_restart_jobs_resumed_total", "Jobs resumed from a durable checkpoint at the last startup.", m.RestartResumed)
 	counter("atomemu_restart_jobs_requeued_total", "Jobs requeued from scratch at the last startup.", m.RestartRequeued)
 	counter("atomemu_restart_jobs_terminal_total", "Terminal jobs re-registered for idempotent reads at the last startup.", m.RestartTerminal)
 	gauge("atomemu_journal_segments", "Journal segment files on disk.")
 	fmt.Fprintf(&b, "atomemu_journal_segments %d\n", m.JournalSegments)
+
+	// Warm-start exposition: the process-wide translation store and the
+	// checkpoint-template pool. Always present (zero when disabled) so
+	// dashboards and the warmstart smoke check can assert on the series.
+	counter("atomemu_tbstore_hits_total", "Cross-job translation store lookups that returned a block.", m.TBStoreHits)
+	counter("atomemu_tbstore_misses_total", "Cross-job translation store lookups that found nothing.", m.TBStoreMisses)
+	counter("atomemu_tbstore_publishes_total", "Blocks published to the cross-job translation store.", m.TBStorePublishes)
+	counter("atomemu_tbstore_evictions_total", "Translation store segments cleared by the size cap.", m.TBStoreEvictions)
+	counter("atomemu_tbstore_invalidations_total", "Machines that stopped sharing after mutating their code span.", m.TBStoreInvalidations)
+	counter("atomemu_warm_forks_total", "Jobs started from a warm-pool checkpoint template.", m.WarmForks)
+	counter("atomemu_warm_publishes_total", "Checkpoint templates published to the warm pool.", m.WarmPublishes)
+	counter("atomemu_warm_fallbacks_total", "Warm forks that failed and fell back to a cold start.", m.WarmFallbacks)
+	counter("atomemu_warm_evictions_total", "Warm-pool templates dropped by the size cap.", m.WarmEvictions)
+	gauge("atomemu_tbstore_blocks", "Blocks cached in the cross-job translation store.")
+	fmt.Fprintf(&b, "atomemu_tbstore_blocks %d\n", m.TBStoreBlocks)
+	gauge("atomemu_tbstore_segments", "Distinct translation universes attached to the store.")
+	fmt.Fprintf(&b, "atomemu_tbstore_segments %d\n", m.TBStoreSegments)
+	gauge("atomemu_warm_templates", "Live checkpoint templates in the warm pool.")
+	fmt.Fprintf(&b, "atomemu_warm_templates %d\n", m.WarmTemplates)
 
 	gauge("atomemu_queue_length", "Jobs waiting in the admission queue.")
 	fmt.Fprintf(&b, "atomemu_queue_length %d\n", len(s.jobQueue()))

@@ -43,6 +43,7 @@ import (
 	"atomemu/internal/engine"
 	"atomemu/internal/obs"
 	"atomemu/internal/stats"
+	"atomemu/internal/tbstore"
 )
 
 // Options is the server policy. Zero values take the defaults below.
@@ -92,6 +93,25 @@ type Options struct {
 	// (router failover): past it, the snapshot is dropped and the job runs
 	// from scratch.
 	MaxRestartResumes int
+	// SharedTBCacheBlocks enables the process-wide content-addressed
+	// translation store (internal/tbstore), capped at this many cached
+	// blocks: jobs for the same image under the same configuration share
+	// translations instead of each re-paying decode+translate+optimize.
+	// 0 disables it (every job keeps a private cache, the historical
+	// behavior). Fault-injected jobs never attach.
+	SharedTBCacheBlocks int
+	// WarmPoolSize enables checkpoint-templated warm starts: after a job
+	// completes, its first checkpoint becomes a fork template, and later
+	// jobs for the same image and configuration resume from it instead of
+	// re-running the prologue. Bounds the live template count (LRU);
+	// 0 disables warm starts.
+	WarmPoolSize int
+	// WarmCheckpointEvery, with warm pools on, is the checkpoint cadence
+	// given to jobs that request none, so a template can be captured for
+	// them. Capture is uncharged in the virtual-time model, so this never
+	// perturbs a job's cycles or output. 0 leaves cadence-less jobs
+	// templateless.
+	WarmCheckpointEvery uint64
 	// BackgroundReplay makes New return before the journal replay finishes:
 	// the HTTP surface comes up immediately, /readyz answers 503 (with
 	// Retry-After) until recovery completes, and submissions are refused
@@ -179,9 +199,26 @@ type Metrics struct {
 	CkptSpills         uint64 `json:"ckpt_spills,omitempty"`
 	CkptSpillBytes     uint64 `json:"ckpt_spill_bytes,omitempty"`
 	CkptSpillErrors    uint64 `json:"ckpt_spill_errors,omitempty"`
+	CkptTempsSwept     uint64 `json:"ckpt_temps_swept,omitempty"`
 	RestartResumed     uint64 `json:"restart_resumed,omitempty"`
 	RestartRequeued    uint64 `json:"restart_requeued,omitempty"`
 	RestartTerminal    uint64 `json:"restart_terminal,omitempty"`
+
+	// Warm-start counters, all zero unless SharedTBCacheBlocks /
+	// WarmPoolSize enabled the respective layer. TBStore*: the process-wide
+	// translation store. Warm*: checkpoint-templated forks.
+	TBStoreHits          uint64 `json:"tbstore_hits,omitempty"`
+	TBStoreMisses        uint64 `json:"tbstore_misses,omitempty"`
+	TBStorePublishes     uint64 `json:"tbstore_publishes,omitempty"`
+	TBStoreEvictions     uint64 `json:"tbstore_evictions,omitempty"`
+	TBStoreInvalidations uint64 `json:"tbstore_invalidations,omitempty"`
+	TBStoreBlocks        int    `json:"tbstore_blocks,omitempty"`
+	TBStoreSegments      int    `json:"tbstore_segments,omitempty"`
+	WarmForks            uint64 `json:"warm_forks,omitempty"`
+	WarmPublishes        uint64 `json:"warm_publishes,omitempty"`
+	WarmFallbacks        uint64 `json:"warm_fallbacks,omitempty"`
+	WarmEvictions        uint64 `json:"warm_evictions,omitempty"`
+	WarmTemplates        int    `json:"warm_templates,omitempty"`
 }
 
 // Server is the job service. Create with New, mount Handler, stop with
@@ -233,6 +270,11 @@ type Server struct {
 	// dur is the durability layer; nil without Options.DataDir.
 	dur *durability
 
+	// tbstore is the process-wide content-addressed translation store and
+	// warm the checkpoint-template pool; both nil unless enabled in Options.
+	tbstore *tbstore.Store[*engine.TB]
+	warm    *warmPool
+
 	accepted, shed, completed, failed, canceled atomic.Uint64
 	recovered, demoted, panics                  atomic.Uint64
 
@@ -268,6 +310,8 @@ func New(opts Options) (*Server, error) {
 		wallHist:     make(map[string]*obs.Histogram),
 		virtHist:     make(map[string]*obs.Histogram),
 		finishRing:   make([]time.Time, 32),
+		tbstore:      tbstore.New[*engine.TB](opts.SharedTBCacheBlocks),
+		warm:         newWarmPool(opts.WarmPoolSize),
 	}
 	if opts.DataDir == "" {
 		s.startPool(nil)
@@ -523,9 +567,27 @@ func (s *Server) Metrics() Metrics {
 		m.CkptSpills = d.spills.Load()
 		m.CkptSpillBytes = d.spillBytes.Load()
 		m.CkptSpillErrors = d.spillErrors.Load()
+		m.CkptTempsSwept = d.ckptTempsSwept.Load()
 		m.RestartResumed = d.restartResumed.Load()
 		m.RestartRequeued = d.restartRequeued.Load()
 		m.RestartTerminal = d.restartTerminal.Load()
+	}
+	if s.tbstore != nil {
+		ts := s.tbstore.Stats()
+		m.TBStoreHits = ts.Hits
+		m.TBStoreMisses = ts.Misses
+		m.TBStorePublishes = ts.Publishes
+		m.TBStoreEvictions = ts.Evictions
+		m.TBStoreInvalidations = ts.Invalidations
+		m.TBStoreBlocks = ts.Blocks
+		m.TBStoreSegments = ts.Segments
+	}
+	if s.warm != nil {
+		m.WarmForks = s.warm.forks.Load()
+		m.WarmPublishes = s.warm.publishes.Load()
+		m.WarmFallbacks = s.warm.fallbacks.Load()
+		m.WarmEvictions = s.warm.evictions.Load()
+		m.WarmTemplates = s.warm.size()
 	}
 	return m
 }
@@ -643,25 +705,79 @@ func (s *Server) run(j *job) {
 	}
 	cfg := j.cfg
 	cfg.Scheme = scheme
+	// Warm-start plumbing. Fault-injected jobs never share: an injected
+	// fault could poison a translation or a template other tenants adopt.
+	warmable := s.warm != nil && cfg.FaultInjector == nil
+	if warmable && cfg.CheckpointEvery == 0 && s.opts.WarmCheckpointEvery > 0 {
+		cfg.CheckpointEvery = s.opts.WarmCheckpointEvery
+	}
+	if s.tbstore != nil && cfg.FaultInjector == nil {
+		cfg.SharedTBStore = s.tbstore
+	}
 	if s.dur != nil && cfg.CheckpointEvery > 0 {
 		sp = s.newSpiller(j.id)
 		cfg.CheckpointSink = sp.sink
 	}
 	var m *engine.Machine
 	var err error
+	var tc *templateCapture
+	var warmKey string
+	warmForked := false
 	if snap := j.resumeSnap; snap != nil {
 		// Restart recovery: rebuild the machine from the spilled cut instead
 		// of loading the image from scratch. One shot — drop the reference so
-		// the decoded snapshot isn't pinned for the job's lifetime.
+		// the decoded snapshot isn't pinned for the job's lifetime. The
+		// journal records no store-watch state for the cut, so the machine
+		// cannot prove its image span pristine: run with a private cache.
 		j.resumeSnap = nil
+		cfg.SharedTBStore = nil
 		m, err = engine.ResumeFromSnapshot(cfg, snap)
 	} else {
-		m, err = engine.NewMachine(cfg)
-		if err == nil {
-			err = m.LoadImage(j.im)
+		if warmable {
+			warmKey = warmJobKey(j, cfg)
+			if tmpl := s.warm.lookup(warmKey); tmpl != nil {
+				fcfg := cfg
+				if fcfg.SharedTBStore != nil && tmpl.seed != nil {
+					// The fork's memory starts at the template cut, not a
+					// pristine image: seed the store watch with the
+					// producer's per-page counts so pages mutated before
+					// the cut stay unshareable here too.
+					fcfg.SharedTBImage = tmpl.image
+					fcfg.SharedTBBase = tmpl.base
+					fcfg.SharedTBSize = tmpl.size
+					fcfg.SharedTBSeedStores = tmpl.seed
+				} else {
+					fcfg.SharedTBStore = nil
+				}
+				if fm, ferr := engine.ResumeFromSnapshot(fcfg, tmpl.snap); ferr == nil {
+					m = fm
+					warmForked = true
+					s.warm.forks.Add(1)
+				} else {
+					// A bad template must never fail the job: fall back to a
+					// cold start.
+					s.warm.fallbacks.Add(1)
+					s.opts.Logger.Printf("server: warm fork for %s failed, starting cold: %v", j.id, ferr)
+				}
+			}
 		}
-		for i := 0; i < j.threads && err == nil; i++ {
-			_, err = m.SpawnThread(j.im.Entry, j.arg)
+		if m == nil {
+			if warmable && cfg.CheckpointEvery > 0 {
+				// Cold eligible run: steal its first checkpoint as the fork
+				// template for this key, publishing only if it succeeds.
+				tc = &templateCapture{next: cfg.CheckpointSink}
+				cfg.CheckpointSink = tc.sink
+			}
+			m, err = engine.NewMachine(cfg)
+			if err == nil && tc != nil {
+				tc.m.Store(m)
+			}
+			if err == nil {
+				err = m.LoadImage(j.im)
+			}
+			for i := 0; i < j.threads && err == nil; i++ {
+				_, err = m.SpawnThread(j.im.Entry, j.arg)
+			}
 		}
 	}
 	if err != nil {
@@ -681,6 +797,7 @@ func (s *Server) run(j *job) {
 	j.status.StartedAt = time.Now()
 	j.status.SchemeEffective = scheme
 	j.status.Demoted = demoted
+	j.status.WarmForked = warmForked
 	j.machine = m
 	j.cancel = cancel
 	j.mu.Unlock()
@@ -696,6 +813,11 @@ func (s *Server) run(j *job) {
 		// spill before finish journals the terminal record and deletes it.
 		sp.stop()
 		sp = nil
+	}
+	if tc != nil && runErr == nil {
+		// Only a successful run publishes its template: a failed or canceled
+		// prologue must never become the fleet's warm start.
+		s.warm.publish(warmKey, tc.template(j))
 	}
 	s.finish(j, engine.ClassifyStop(runErr), runErr, m)
 }
@@ -933,8 +1055,17 @@ func (s *Server) Handler() http.Handler {
 		})
 	}))
 	mux.HandleFunc("/statz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
+		// warmth is the router's placement hint: how much reusable
+		// translation/template state this worker holds. Always present so
+		// probes can parse it unconditionally; all zero when warm starts
+		// are disabled.
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"metrics": s.Metrics(), "breakers": s.Breakers(),
+			"warmth": map[string]int{
+				"tbstore_blocks":   s.tbstore.Len(),
+				"tbstore_segments": s.tbstore.Stats().Segments,
+				"warm_templates":   s.warm.size(),
+			},
 		})
 	}))
 	mux.HandleFunc("/metrics", s.getOnly(s.handleMetrics))

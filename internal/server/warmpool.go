@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"atomemu/internal/checkpoint"
+	"atomemu/internal/engine"
+)
+
+// This file is the server's warm-start layer: checkpoint-templated job
+// forking. The first checkpoint a cold run captures is a complete,
+// immutable cut of the machine a fixed virtual time into the guest — for a
+// repeat submission of the same image under the same configuration, that
+// cut IS the new job's prefix. Publishing it as a template lets later jobs
+// fork via engine.ResumeFromSnapshot over the snapshot's copy-on-write
+// frames instead of re-loading and re-executing the prologue, while the
+// virtual-time model keeps the forked run cycle- and output-identical to a
+// cold one (checkpoint capture is uncharged, so the cut is deterministic).
+
+// warmTemplate is one published fork point: the producing run's first
+// checkpoint plus everything a fork needs to attach to the shared
+// translation store soundly — the image identity/span and the producer's
+// per-page store counts at (or conservatively after) the cut, seeded into
+// the fork's store watch so pages the producer had already mutated stay
+// unshareable in the fork too.
+type warmTemplate struct {
+	snap  *checkpoint.Snapshot
+	seed  []uint64
+	image [32]byte
+	base  uint32
+	size  uint32
+
+	lastUse uint64 // guarded by warmPool.mu
+}
+
+// warmPool is a bounded LRU registry of templates keyed by image content
+// and effective job configuration. A nil *warmPool is valid and inert —
+// the server leaves it nil unless Options.WarmPoolSize enables it.
+type warmPool struct {
+	max int
+
+	forks     atomic.Uint64 // jobs started from a template
+	publishes atomic.Uint64 // templates published
+	fallbacks atomic.Uint64 // forks that failed and ran cold instead
+	evictions atomic.Uint64 // templates dropped by the size cap
+
+	mu   sync.Mutex
+	seq  uint64
+	tmpl map[string]*warmTemplate
+}
+
+func newWarmPool(max int) *warmPool {
+	if max <= 0 {
+		return nil
+	}
+	return &warmPool{max: max, tmpl: make(map[string]*warmTemplate)}
+}
+
+// lookup returns the template for key, if any, refreshing its recency.
+func (p *warmPool) lookup(key string) *warmTemplate {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.tmpl[key]
+	if t != nil {
+		p.seq++
+		t.lastUse = p.seq
+	}
+	return t
+}
+
+// publish registers a template for key. First-wins: the first checkpoint of
+// any successful run under a given key is deterministic, so a later
+// publisher has nothing newer to offer and replacing would only churn the
+// pool. Past the size cap the least-recently-used template is dropped.
+func (p *warmPool) publish(key string, t *warmTemplate) {
+	if p == nil || t == nil || t.snap == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.tmpl[key]; ok {
+		return
+	}
+	p.seq++
+	t.lastUse = p.seq
+	p.tmpl[key] = t
+	p.publishes.Add(1)
+	for len(p.tmpl) > p.max {
+		victimKey := ""
+		var victim *warmTemplate
+		for k, v := range p.tmpl {
+			if victim == nil || v.lastUse < victim.lastUse {
+				victimKey, victim = k, v
+			}
+		}
+		delete(p.tmpl, victimKey)
+		p.evictions.Add(1)
+	}
+}
+
+// size reports the live template count.
+func (p *warmPool) size() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.tmpl)
+}
+
+// warmJobKey identifies a fork-compatibility class: image content, the
+// effective scheme, and every tenant-settable knob that changes what the
+// machine computes or when its first checkpoint cuts. Two jobs with equal
+// keys run byte-identically, so one's first checkpoint is a valid prefix
+// for the other.
+func warmJobKey(j *job, cfg engine.Config) string {
+	return fmt.Sprintf("%x|%s|t=%d a=%d mem=%d hb=%d mgi=%d fuse=%t ce=%d ra=%d vd=%d wd=%d cb=%d tier=%t hot=%d",
+		j.imageHash, cfg.Scheme, j.threads, j.arg, cfg.MemBytes, cfg.HashBits,
+		cfg.MaxGuestInstrs, cfg.FuseAtomics, cfg.CheckpointEvery, cfg.RecoveryAttempts,
+		cfg.VirtualDeadline, cfg.WatchdogSCFails, cfg.ChainBudget, cfg.Tiered, cfg.HotThreshold)
+}
+
+// templateCapture wraps a job's checkpoint sink to steal the run's first
+// snapshot as a fork template. The machine pointer is published before the
+// run starts; the seed counts are read at capture time — they may include
+// stores that landed after the cut, which only over-marks pages as mutated
+// (sound: a fork never shares more than the producer could prove pristine).
+type templateCapture struct {
+	m    atomic.Pointer[engine.Machine]
+	snap atomic.Pointer[checkpoint.Snapshot]
+	seed atomic.Pointer[[]uint64]
+	next func(*checkpoint.Snapshot)
+}
+
+// sink is installed as the engine's CheckpointSink; it forwards every
+// snapshot to the wrapped sink (the durability spiller) unchanged.
+func (t *templateCapture) sink(snap *checkpoint.Snapshot) {
+	if t.snap.CompareAndSwap(nil, snap) {
+		if m := t.m.Load(); m != nil {
+			counts := m.ImageStoreCounts()
+			t.seed.Store(&counts)
+		}
+	}
+	if t.next != nil {
+		t.next(snap)
+	}
+}
+
+// template assembles the published warmTemplate after a successful run, or
+// nil when no checkpoint was captured.
+func (t *templateCapture) template(j *job) *warmTemplate {
+	snap := t.snap.Load()
+	if snap == nil {
+		return nil
+	}
+	var seed []uint64
+	if p := t.seed.Load(); p != nil {
+		seed = *p
+	}
+	return &warmTemplate{snap: snap, seed: seed, image: j.imageHash, base: j.imageBase, size: j.imageSize}
+}

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atomemu/internal/checkpoint"
+)
+
+// warmOptions is the warm-start-enabled server shape the daemon flags
+// (-tbstore-blocks, -warm-pool, -warm-checkpoint-every) produce.
+func warmOptions(workers int) Options {
+	return Options{
+		Workers:             workers,
+		SharedTBCacheBlocks: 4096,
+		WarmPoolSize:        4,
+		WarmCheckpointEvery: 2000,
+	}
+}
+
+// TestWarmPoolForkReuse is the end-to-end warm-start path: the first job for
+// an image publishes its first checkpoint as a template; a repeat job for
+// the same image forks from it (warm_forked), adopts shared translations,
+// and still produces the identical output and guest instruction count.
+func TestWarmPoolForkReuse(t *testing.T) {
+	s := newTestServer(t, warmOptions(1))
+	req := JobRequest{Scheme: "pico-cas", GAC: counterGAC, Arg: 4000}
+
+	id1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := awaitTerminal(t, s, id1)
+	if st1.State != StateDone || st1.ExitCode != 0 {
+		t.Fatalf("cold job: state=%s exit=%d err=%q", st1.State, st1.ExitCode, st1.Error)
+	}
+	if st1.WarmForked {
+		t.Fatal("first job for an image cannot be warm-forked")
+	}
+	m := s.Metrics()
+	if m.WarmPublishes != 1 || m.WarmTemplates != 1 {
+		t.Fatalf("cold job should leave one template: publishes=%d templates=%d",
+			m.WarmPublishes, m.WarmTemplates)
+	}
+	if m.TBStorePublishes == 0 {
+		t.Fatalf("cold job published no translations: %+v", m)
+	}
+
+	id2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := awaitTerminal(t, s, id2)
+	if st2.State != StateDone || st2.ExitCode != 0 {
+		t.Fatalf("repeat job: state=%s exit=%d err=%q", st2.State, st2.ExitCode, st2.Error)
+	}
+	if !st2.WarmForked {
+		t.Fatal("repeat job for the same image should fork from the warm template")
+	}
+	if !equalU32(st2.Output, st1.Output) {
+		t.Fatalf("warm fork output %v, cold %v — warm starts must not change results", st2.Output, st1.Output)
+	}
+	if st2.GuestInstrs != st1.GuestInstrs {
+		t.Fatalf("warm fork guest instrs %d, cold %d", st2.GuestInstrs, st1.GuestInstrs)
+	}
+	m = s.Metrics()
+	if m.WarmForks != 1 {
+		t.Fatalf("warm forks = %d, want 1", m.WarmForks)
+	}
+	if m.TBStoreHits == 0 {
+		t.Fatal("warm fork adopted nothing from the shared translation store")
+	}
+}
+
+// TestWarmForkDeterminismAcrossSchemes: cold run, shared-store-hit run and
+// warm fork must agree on output and guest instruction count per scheme.
+func TestWarmForkDeterminismAcrossSchemes(t *testing.T) {
+	for _, scheme := range []string{"pico-cas", "hst"} {
+		t.Run(scheme, func(t *testing.T) {
+			// Cold reference on a server with no warm-start state at all.
+			ref := newTestServer(t, Options{Workers: 1})
+			req := JobRequest{Scheme: scheme, GAC: counterGAC, Arg: 3000}
+			rid, err := ref.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := awaitTerminal(t, ref, rid)
+
+			s := newTestServer(t, warmOptions(1))
+			var got []JobStatus
+			for i := 0; i < 3; i++ {
+				id, err := s.Submit(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, awaitTerminal(t, s, id))
+			}
+			if !got[2].WarmForked {
+				t.Fatal("third submission should be a warm fork")
+			}
+			for i, st := range got {
+				if st.State != StateDone {
+					t.Fatalf("job %d: state=%s err=%q", i, st.State, st.Error)
+				}
+				if !equalU32(st.Output, want.Output) {
+					t.Fatalf("job %d output %v, cold reference %v", i, st.Output, want.Output)
+				}
+				if st.GuestInstrs != want.GuestInstrs {
+					t.Fatalf("job %d guest instrs %d, cold reference %d", i, st.GuestInstrs, want.GuestInstrs)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultInjectedJobsStayCold: fault-injected jobs must neither consume
+// nor feed the warm pool or the shared store.
+func TestFaultInjectedJobsStayCold(t *testing.T) {
+	opts := warmOptions(1)
+	opts.AllowFaultInjection = true
+	s := newTestServer(t, opts)
+	req := JobRequest{
+		Scheme: "pico-cas", GAC: counterGAC, Arg: 2000,
+		Config: JobConfig{CheckpointEvery: 1000},
+		Fault:  []FaultRule{{Op: "mem-store", Action: "fault", After: 100000000, Count: 1}},
+	}
+	id, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := awaitTerminal(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("state=%s err=%q", st.State, st.Error)
+	}
+	m := s.Metrics()
+	if m.WarmPublishes != 0 || m.WarmTemplates != 0 {
+		t.Fatalf("fault-injected job fed the warm pool: %+v", m)
+	}
+	if m.TBStorePublishes != 0 {
+		t.Fatalf("fault-injected job fed the shared store: %+v", m)
+	}
+}
+
+// TestStatzReportsWarmth: the /statz warmth hint the router's placement
+// probe parses must always be present, and must move once state is warm.
+func TestStatzReportsWarmth(t *testing.T) {
+	s := newTestServer(t, warmOptions(1))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	readWarmth := func() map[string]int {
+		resp, err := ts.Client().Get(ts.URL + "/statz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Warmth map[string]int `json:"warmth"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Warmth == nil {
+			t.Fatal("/statz warmth hint missing")
+		}
+		return body.Warmth
+	}
+	w := readWarmth()
+	if w["tbstore_blocks"] != 0 || w["warm_templates"] != 0 {
+		t.Fatalf("fresh server should be cold: %v", w)
+	}
+
+	id, err := s.Submit(JobRequest{Scheme: "pico-cas", GAC: counterGAC, Arg: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitTerminal(t, s, id)
+	w = readWarmth()
+	if w["tbstore_blocks"] == 0 || w["warm_templates"] != 1 {
+		t.Fatalf("warmth hint did not move after a completed job: %v", w)
+	}
+}
+
+// TestRestartSweepsStaleCheckpointTemps: a crash between CreateTemp and the
+// rename leaves <datadir>/ckpt/<job>.tmp-* orphans; startup must remove
+// them — and only them, never a completed spill.
+func TestRestartSweepsStaleCheckpointTemps(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := []string{"job-1.tmp-123456", "job-7.tmp-9"}
+	for _, name := range stale {
+		if err := os.WriteFile(filepath.Join(ckptDir, name), []byte("torn spill"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(ckptDir, "job-2"), []byte("completed spill"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Options{Workers: 1, DataDir: dir})
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(ckptDir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale temp %s survived the startup sweep (err=%v)", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(ckptDir, "job-2")); err != nil {
+		t.Errorf("completed spill removed by the sweep: %v", err)
+	}
+	if got := s.Metrics().CkptTempsSwept; got != uint64(len(stale)) {
+		t.Errorf("ckpt temps swept = %d, want %d", got, len(stale))
+	}
+
+	// The sweep is startup-only hygiene: a live spiller's temps (written and
+	// renamed while running) must be unaffected — exercise a real durable
+	// checkpointing job on the same server to be sure nothing regressed.
+	id, err := s.Submit(JobRequest{
+		Scheme: "pico-cas", GAC: counterGAC, Arg: 4000,
+		Config: JobConfig{CheckpointEvery: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := awaitTerminal(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("state=%s err=%q", st.State, st.Error)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("job took no checkpoints; the spiller never ran")
+	}
+	// Terminal jobs have their spill removed; what must never accumulate
+	// is half-written temps.
+	ents, err := os.ReadDir(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind after a clean spill", e.Name())
+		}
+	}
+}
+
+// TestWarmPoolEvictsLRU: the pool holds at most WarmPoolSize templates and
+// drops the least-recently-used one past the cap.
+func TestWarmPoolEvictsLRU(t *testing.T) {
+	p := newWarmPool(2)
+	p.publish("a", &warmTemplate{snap: &checkpoint.Snapshot{}})
+	p.publish("b", &warmTemplate{snap: &checkpoint.Snapshot{}})
+	if p.lookup("a") == nil { // refresh a; b is now LRU
+		t.Fatal("template a missing")
+	}
+	p.publish("c", &warmTemplate{snap: &checkpoint.Snapshot{}})
+	if p.size() != 2 {
+		t.Fatalf("pool size = %d, want 2", p.size())
+	}
+	if p.lookup("b") != nil {
+		t.Fatal("LRU template b should have been evicted")
+	}
+	if p.lookup("a") == nil || p.lookup("c") == nil {
+		t.Fatal("wrong template evicted")
+	}
+	if p.evictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", p.evictions.Load())
+	}
+	// First-wins: a re-publish must not replace an existing template.
+	tmpl := p.lookup("a")
+	p.publish("a", &warmTemplate{snap: &checkpoint.Snapshot{}})
+	if p.lookup("a") != tmpl {
+		t.Fatal("re-publish replaced an existing template")
+	}
+}

@@ -94,6 +94,14 @@ type CPU struct {
 	TierPromotions uint64 // blocks promoted from the interp tier to optimized IR
 	InterpBlocks   uint64 // block executions served by the decoder-direct interp tier
 
+	// Cross-job content-addressed translation store (internal/tbstore):
+	// lookups against the process-wide shared view, publications into it,
+	// and permanent detaches after the machine mutated its code span.
+	TBStoreHits          uint64 // blocks adopted from the shared store
+	TBStoreMisses        uint64 // shared-store probes that found nothing
+	TBStorePublishes     uint64 // blocks this vCPU published to the store
+	TBStoreInvalidations uint64 // views detached after a store into the image span
+
 	// Virtual cycles by component.
 	Cycles [NumComponents]uint64
 }

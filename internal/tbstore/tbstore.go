@@ -1,0 +1,270 @@
+// Package tbstore is the process-wide content-addressed translation store:
+// the cross-job answer to the per-Machine TB cache in internal/engine.
+//
+// Every atomemud job used to retranslate its guest image from scratch even
+// when the fleet serves millions of repeat submissions of the same image —
+// the sharded engine cache dies with its Machine. Here translations are
+// keyed by *content*: a Key is the sha256 of the guest image span plus a
+// canonical descriptor of everything that changes what a translation means
+// (scheme, instrumentation options, tier/chain configuration). Two machines
+// with equal keys are guaranteed to produce interchangeable blocks, so the
+// first job pays decode+translate+optimize and every later job for the same
+// image starts warm.
+//
+// Concurrency mirrors the engine cache's copy-on-write discipline: each
+// key's segment holds an atomic pointer to an immutable pc→block map, so
+// hits are one atomic load with no locks, and publication copies the
+// snapshot under the segment's writer mutex with adopt-the-winner
+// semantics — racing publishers for the same pc converge on one canonical
+// block, exactly like tbCache.insert.
+//
+// Memory is bounded by a block cap with 2Q-flavoured eviction at segment
+// granularity: a segment starts in probation and is promoted to the
+// protected set the first time a second machine attaches to it (proven
+// cross-job reuse). When the store exceeds its cap, probation segments are
+// evicted LRU-first, so one-shot images cannot wash out the hot set.
+//
+// The store never invalidates entries itself: publication is guarded on the
+// engine side by an MMU store-watch over the image span, so a segment only
+// ever contains blocks translated from pristine image bytes (see
+// DESIGN.md §13). Machines that mutate their code span detach from their
+// view and count an invalidation here.
+package tbstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one translation universe. Two machines whose Keys are
+// equal translate identically, byte for byte.
+type Key struct {
+	// Image is the sha256 of the guest image span (org, entry, words).
+	Image [32]byte
+	// Opts is the canonical descriptor of the translation configuration:
+	// scheme name, instrumentation flags, block caps, tiering and fusion
+	// knobs. Kept as the full descriptor string rather than a digest so a
+	// key match is exact — there is no fingerprint collision to fall back
+	// from.
+	Opts string
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Hits          uint64 // segment lookups that returned a block
+	Misses        uint64 // segment lookups that found nothing
+	Publishes     uint64 // blocks published (publish races excluded)
+	Evictions     uint64 // segments cleared by the cap
+	EvictedBlocks uint64 // blocks dropped by those evictions
+	Invalidations uint64 // machines that detached after mutating their code span
+	Segments      int    // distinct keys ever attached (live map size)
+	Blocks        int    // blocks currently cached across all segments
+}
+
+// Store is a bounded content-addressed block store, generic over the block
+// type so the engine can instantiate it with its own *TB without an import
+// cycle. The zero Store is not usable; construct with New. A nil *Store is
+// valid and inert (View returns nil).
+type Store[V any] struct {
+	maxBlocks int
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	publishes     atomic.Uint64
+	evictions     atomic.Uint64
+	evictedBlocks atomic.Uint64
+	invalidations atomic.Uint64
+	blocks        atomic.Int64
+
+	// mu guards the key map and the 2Q recency state (lastUse/protected).
+	// Lock order: mu before any segment.mu (eviction); Get/Publish never
+	// hold a segment.mu while taking mu.
+	mu   sync.Mutex
+	segs map[Key]*segment[V]
+	tick uint64
+}
+
+type segment[V any] struct {
+	snap atomic.Pointer[map[uint32]V] // immutable; replaced wholesale
+	mu   sync.Mutex                   // serializes publishers and eviction
+	n    atomic.Int64                 // blocks in snap; mutated under mu
+
+	// 2Q state, guarded by Store.mu.
+	protected bool
+	lastUse   uint64
+}
+
+// New builds a store capped at maxBlocks cached blocks. maxBlocks <= 0
+// returns nil: a disabled store that every View call treats as absent.
+func New[V any](maxBlocks int) *Store[V] {
+	if maxBlocks <= 0 {
+		return nil
+	}
+	return &Store[V]{
+		maxBlocks: maxBlocks,
+		segs:      make(map[Key]*segment[V]),
+	}
+}
+
+// View attaches to the segment for k, creating it (in probation) on first
+// attach and promoting it to the protected set on re-attach — a second
+// machine wanting the same key is the 2Q "second access" signal. Returns
+// nil on a nil store.
+func (s *Store[V]) View(k Key) *View[V] {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	seg := s.segs[k]
+	if seg == nil {
+		seg = &segment[V]{}
+		s.segs[k] = seg
+	} else {
+		seg.protected = true
+	}
+	seg.lastUse = s.tick
+	return &View[V]{st: s, seg: seg}
+}
+
+// NoteInvalidation records a machine detaching from its view after
+// observing a guest store into its translated span.
+func (s *Store[V]) NoteInvalidation() {
+	if s != nil {
+		s.invalidations.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store[V]) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	nseg := len(s.segs)
+	s.mu.Unlock()
+	return Stats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Publishes:     s.publishes.Load(),
+		Evictions:     s.evictions.Load(),
+		EvictedBlocks: s.evictedBlocks.Load(),
+		Invalidations: s.invalidations.Load(),
+		Segments:      nseg,
+		Blocks:        int(s.blocks.Load()),
+	}
+}
+
+// Len reports the cached block count (approximate while publishers race).
+func (s *Store[V]) Len() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.blocks.Load())
+}
+
+// View is one machine's handle on its key's segment. Methods are safe for
+// concurrent use by the machine's vCPUs; a nil *View is inert.
+type View[V any] struct {
+	st  *Store[V]
+	seg *segment[V]
+}
+
+// Get returns the block published for pc, if any. Lock-free: one atomic
+// load of the segment snapshot.
+func (v *View[V]) Get(pc uint32) (V, bool) {
+	var zero V
+	if v == nil {
+		return zero, false
+	}
+	if m := v.seg.snap.Load(); m != nil {
+		if val, ok := (*m)[pc]; ok {
+			v.st.hits.Add(1)
+			return val, true
+		}
+	}
+	v.st.misses.Add(1)
+	return zero, false
+}
+
+// Publish offers val for pc and returns the canonical block: val itself if
+// this call won, or the already-published block if another machine raced us
+// here first (won=false) — the same adopt-the-winner contract as the
+// engine's tbCache.insert, lifted across machines.
+func (v *View[V]) Publish(pc uint32, val V) (canonical V, won bool) {
+	if v == nil {
+		return val, false
+	}
+	seg := v.seg
+	seg.mu.Lock()
+	old := seg.snap.Load()
+	if old != nil {
+		if existing, ok := (*old)[pc]; ok {
+			seg.mu.Unlock()
+			return existing, false
+		}
+	}
+	next := make(map[uint32]V, segLen(old)+1)
+	if old != nil {
+		for k, blk := range *old {
+			next[k] = blk
+		}
+	}
+	next[pc] = val
+	seg.snap.Store(&next)
+	seg.n.Add(1)
+	seg.mu.Unlock()
+
+	v.st.publishes.Add(1)
+	if v.st.blocks.Add(1) > int64(v.st.maxBlocks) {
+		v.st.evict(seg)
+	}
+	return val, true
+}
+
+// evict clears least-recently-attached segments — probation first, then
+// protected — until the store is back under its block cap. The segment that
+// triggered the eviction is spared (it is by definition the most recent).
+func (s *Store[V]) evict(keep *segment[V]) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.blocks.Load() > int64(s.maxBlocks) {
+		victim := s.victimLocked(keep, false)
+		if victim == nil {
+			victim = s.victimLocked(keep, true)
+		}
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		victim.snap.Store(nil)
+		n := victim.n.Swap(0)
+		victim.mu.Unlock()
+		victim.protected = false
+		s.blocks.Add(-n)
+		s.evictions.Add(1)
+		s.evictedBlocks.Add(uint64(n))
+	}
+}
+
+// victimLocked picks the LRU non-empty segment in the requested queue.
+func (s *Store[V]) victimLocked(keep *segment[V], protected bool) *segment[V] {
+	var victim *segment[V]
+	for _, seg := range s.segs {
+		if seg == keep || seg.protected != protected || seg.n.Load() == 0 {
+			continue
+		}
+		if victim == nil || seg.lastUse < victim.lastUse {
+			victim = seg
+		}
+	}
+	return victim
+}
+
+func segLen[V any](m *map[uint32]V) int {
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}

@@ -1,0 +1,232 @@
+package tbstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(b byte) Key {
+	var k Key
+	k.Image[0] = b
+	k.Opts = "scheme=test"
+	return k
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	s := New[int](0)
+	if s != nil {
+		t.Fatal("New(0) should return nil")
+	}
+	if v := s.View(key(1)); v != nil {
+		t.Fatal("nil store View should return nil")
+	}
+	var v *View[int]
+	if _, ok := v.Get(0x1000); ok {
+		t.Fatal("nil view Get should miss")
+	}
+	if _, won := v.Publish(0x1000, 7); won {
+		t.Fatal("nil view Publish should not win")
+	}
+	s.NoteInvalidation()
+	if got := s.Stats(); got != (Stats{}) {
+		t.Fatalf("nil store Stats = %+v, want zero", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("nil store Len should be 0")
+	}
+}
+
+func TestGetPublishRoundTrip(t *testing.T) {
+	s := New[string](16)
+	v := s.View(key(1))
+	if _, ok := v.Get(0x1000); ok {
+		t.Fatal("empty segment should miss")
+	}
+	if got, won := v.Publish(0x1000, "a"); !won || got != "a" {
+		t.Fatalf("first publish: got %q won=%v", got, won)
+	}
+	if got, ok := v.Get(0x1000); !ok || got != "a" {
+		t.Fatalf("Get after publish: got %q ok=%v", got, ok)
+	}
+	// Second view of the same key sees the published block.
+	v2 := s.View(key(1))
+	if got, ok := v2.Get(0x1000); !ok || got != "a" {
+		t.Fatalf("second view Get: got %q ok=%v", got, ok)
+	}
+	// A different key is a different universe.
+	v3 := s.View(key(2))
+	if _, ok := v3.Get(0x1000); ok {
+		t.Fatal("different key should not see the block")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Publishes != 1 || st.Segments != 2 || st.Blocks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPublishAdoptsTheWinner(t *testing.T) {
+	s := New[string](16)
+	v := s.View(key(1))
+	v.Publish(0x2000, "winner")
+	got, won := v.Publish(0x2000, "loser")
+	if won {
+		t.Fatal("second publish for the same pc must lose")
+	}
+	if got != "winner" {
+		t.Fatalf("loser must adopt the winner, got %q", got)
+	}
+	if st := s.Stats(); st.Publishes != 1 || st.Blocks != 1 {
+		t.Fatalf("a losing publish must not count or grow the store: %+v", st)
+	}
+}
+
+func TestConcurrentPublishConverges(t *testing.T) {
+	s := New[int](1024)
+	const goroutines = 16
+	results := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := s.View(key(1))
+			canonical, _ := v.Publish(0x3000, g)
+			results[g] = canonical
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("publishers disagree on the canonical block: %v", results)
+		}
+	}
+	if st := s.Stats(); st.Publishes != 1 || st.Blocks != 1 {
+		t.Fatalf("exactly one publish must win: %+v", st)
+	}
+}
+
+func TestEvictionPrefersProbationOverProtected(t *testing.T) {
+	s := New[int](4)
+
+	// key(1) is attached twice → protected.
+	hot := s.View(key(1))
+	s.View(key(1))
+	hot.Publish(0x1000, 1)
+	hot.Publish(0x1004, 2)
+
+	// key(2) is a one-shot image in probation.
+	cold := s.View(key(2))
+	cold.Publish(0x1000, 3)
+	cold.Publish(0x1004, 4)
+
+	// key(3)'s publishes push past the cap; the probation segment key(2)
+	// must be the victim even though key(1) is older.
+	v3 := s.View(key(3))
+	v3.Publish(0x1000, 5)
+
+	if _, ok := hot.Get(0x1000); !ok {
+		t.Fatal("protected segment was evicted while probation segments existed")
+	}
+	if _, ok := cold.Get(0x1000); ok {
+		t.Fatal("probation segment survived past the cap")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.EvictedBlocks != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction of 2 blocks", st)
+	}
+	if st.Blocks > 4 {
+		t.Fatalf("store over cap after eviction: %+v", st)
+	}
+}
+
+func TestEvictionFallsBackToProtected(t *testing.T) {
+	s := New[int](2)
+	// Two protected segments, no probation left: the cap must still hold.
+	a := s.View(key(1))
+	s.View(key(1))
+	b := s.View(key(2))
+	s.View(key(2))
+	a.Publish(0x1000, 1)
+	a.Publish(0x1004, 2)
+	b.Publish(0x1000, 3) // over cap; only protected victims available
+
+	if st := s.Stats(); st.Blocks > 2 {
+		t.Fatalf("cap not enforced against protected segments: %+v", st)
+	}
+	// The triggering segment is spared; the LRU protected one (a) is cleared.
+	if _, ok := b.Get(0x1000); !ok {
+		t.Fatal("the publishing segment must be spared")
+	}
+	if _, ok := a.Get(0x1000); ok {
+		t.Fatal("LRU protected segment should have been evicted")
+	}
+}
+
+func TestEvictedSegmentDemotesToProbation(t *testing.T) {
+	s := New[int](4)
+	// Two protected segments; b attached first so b is the protected-LRU.
+	b := s.View(key(2))
+	s.View(key(2))
+	a := s.View(key(1))
+	s.View(key(1))
+	a.Publish(0x1000, 1)
+	a.Publish(0x1004, 2)
+	b.Publish(0x1000, 3)
+	b.Publish(0x1004, 4)
+	b.Publish(0x1008, 5) // over cap; a is the only non-trigger victim
+
+	if _, ok := a.Get(0x1000); ok {
+		t.Fatal("setup: a should be evicted")
+	}
+	// a is now demoted to probation with a NEWER lastUse than protected b.
+	// Refill a through the old view (no re-attach, so no re-promotion) and
+	// overflow from a third key: probation-first ordering must evict a even
+	// though plain LRU would pick b.
+	a.Publish(0x1000, 6)
+	c := s.View(key(3))
+	c.Publish(0x1000, 7)
+	if _, ok := a.Get(0x1000); ok {
+		t.Fatal("previously evicted segment must re-enter probation and be evicted first")
+	}
+	if _, ok := b.Get(0x1000); !ok {
+		t.Fatal("protected segment b must survive")
+	}
+}
+
+func TestInvalidationCounter(t *testing.T) {
+	s := New[int](8)
+	s.NoteInvalidation()
+	s.NoteInvalidation()
+	if st := s.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
+func TestManyKeysStayBounded(t *testing.T) {
+	const cap = 32
+	s := New[int](cap)
+	for i := 0; i < 64; i++ {
+		v := s.View(key(byte(i)))
+		for pc := uint32(0); pc < 8; pc++ {
+			v.Publish(0x1000+4*pc, i)
+		}
+	}
+	if got := s.Len(); got > cap {
+		t.Fatalf("Len = %d, want <= %d", got, cap)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions under sustained insert pressure")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	// Stats must be a plain value type usable in logs.
+	s := New[int](4)
+	v := s.View(key(1))
+	v.Publish(0x1000, 1)
+	got := fmt.Sprintf("%+v", s.Stats())
+	if got == "" {
+		t.Fatal("empty stats formatting")
+	}
+}

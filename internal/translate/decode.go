@@ -14,6 +14,12 @@ type Decoded struct {
 	Start    uint32
 	Instrs   []arch.Instruction
 	GuestLen int // == len(Instrs); mirrors ir.Block.GuestLen
+	// HasStores/HasLoads mirror ir.Block's instrumentation-sensitivity
+	// flags: whether the block contains plain guest stores/loads. The
+	// interp tier consults Options.Instrument* at run time, so these only
+	// matter for cache-retention decisions, not execution.
+	HasStores bool
+	HasLoads  bool
 }
 
 // End returns the guest pc immediately after the decoded instructions.
@@ -50,6 +56,12 @@ func Decode(fetch FetchFunc, pc uint32, opts Options) (*Decoded, error) {
 		}
 		d.Instrs = append(d.Instrs, in)
 		d.GuestLen = n + 1
+		switch in.Op {
+		case arch.STR, arch.STRB, arch.STRR, arch.STRBR:
+			d.HasStores = true
+		case arch.LDR, arch.LDRB, arch.LDRR, arch.LDRBR:
+			d.HasLoads = true
+		}
 		if in.Op.EndsBlock() {
 			return d, nil
 		}

@@ -66,6 +66,17 @@ func Block(fetch FetchFunc, pc uint32, opts Options) (*ir.Block, error) {
 		maxInstrs = DefaultMaxGuestInstrs
 	}
 	b := ir.NewBlock(pc)
+	b.GuestLo, b.GuestHi = pc, pc
+	// extend widens the translated-from bounds; superblock folding can move
+	// cur backwards (a call to an earlier function), so both ends track.
+	extend := func(lo, hi uint32) {
+		if lo < b.GuestLo {
+			b.GuestLo = lo
+		}
+		if hi > b.GuestHi {
+			b.GuestHi = hi
+		}
+	}
 	cur := pc
 	var seen map[uint32]bool
 	if opts.FollowUncond {
@@ -90,8 +101,13 @@ func Block(fetch FetchFunc, pc uint32, opts Options) (*ir.Block, error) {
 		}
 		if opts.FuseAtomics && in.Op == arch.LDREX {
 			if consumed := tryFuse(fetch, b, in, cur, opts); consumed > 0 {
+				// A fused window collapses loads and stores into one host
+				// atomic; treat it as both-sensitive so retention stays
+				// conservative.
+				b.HasStores, b.HasLoads = true, true
 				n += consumed
 				b.GuestLen = n
+				extend(cur, cur+uint32(consumed)*arch.InstrBytes)
 				cur += uint32(consumed) * arch.InstrBytes
 				continue
 			}
@@ -110,6 +126,7 @@ func Block(fetch FetchFunc, pc uint32, opts Options) (*ir.Block, error) {
 				}
 				n++
 				b.GuestLen = n
+				extend(cur, cur+arch.InstrBytes)
 				cur = target
 				continue
 			}
@@ -119,6 +136,7 @@ func Block(fetch FetchFunc, pc uint32, opts Options) (*ir.Block, error) {
 		}
 		n++
 		b.GuestLen = n
+		extend(cur, cur+arch.InstrBytes)
 		if in.Op.EndsBlock() {
 			finish(b, opts)
 			return b, nil
@@ -166,6 +184,13 @@ func emit(b *ir.Block, in arch.Instruction, pc uint32, opts Options) error {
 		inst.Op = op
 		inst.GuestPC = pc
 		b.Emit(inst)
+	}
+
+	switch in.Op {
+	case arch.STR, arch.STRB, arch.STRR, arch.STRBR:
+		b.HasStores = true
+	case arch.LDR, arch.LDRB, arch.LDRR, arch.LDRBR:
+		b.HasLoads = true
 	}
 
 	switch in.Op {
